@@ -1,0 +1,77 @@
+"""Ablation: result stability across simulation tick sizes.
+
+DESIGN.md Section 6 commits to a fixed-tick batched simulator; this
+ablation checks the claim that the tick size is not load-bearing — the
+Figure-12 verdicts and the blocking states must be identical at 0.5, 1
+and 2 ms ticks, and a simple end-to-end throughput must agree within a
+few percent.
+"""
+
+import pytest
+
+from repro.dataplane.machine import PhysicalMachine
+from repro.middleboxes.http import HttpServer
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Flow
+from repro.transport.registry import TransportRegistry
+from repro.workloads.traffic import ExternalTrafficSource
+
+TICKS = (0.5e-3, 1e-3, 2e-3)
+
+
+def throughput_at_tick(tick: float) -> float:
+    sim = Simulator(tick=tick)
+    TransportRegistry(sim)
+    machine = PhysicalMachine(sim, "m1")
+    vm = machine.add_vm("v1", vcpu_cores=1.0, vnic_bps=100e6)
+    app = HttpServer(sim, vm, "app", cpu_per_byte=1e-9)
+    flow = Flow("rx", dst_vm="v1", kind="udp")
+    vm.bind_udp(flow, app.socket)
+    ExternalTrafficSource(sim, "src", flow, machine.inject, rate_bps=300e6)
+    sim.run(2.0)
+    return app.total_consumed_bytes * 8 / 2.0, vm.tun.counters.total_drops
+
+
+def verdict_at_tick(tick: float) -> list:
+    from repro.scenarios.fig12_propagation import build_and_run
+
+    # build_and_run builds its own 1 ms harness; reproduce inline at
+    # arbitrary tick via the harness tick parameter.
+    import repro.scenarios.fig12_propagation as f12
+    from repro.scenarios.common import Harness
+
+    original = Harness.__init__
+
+    def patched(self, tick_=tick, seed=0, **kw):
+        original(self, tick=tick_, seed=seed)
+
+    Harness.__init__ = patched
+    try:
+        res = f12.build_and_run("buggy_nfs")
+    finally:
+        Harness.__init__ = original
+    return res.report.root_causes
+
+
+def test_ablation_tick_size(benchmark, paper_report):
+    def run_all():
+        rates = {tick: throughput_at_tick(tick) for tick in TICKS}
+        verdicts = {tick: verdict_at_tick(tick) for tick in TICKS}
+        return rates, verdicts
+
+    rates, verdicts = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = [f"{'tick':>8s} {'vNIC-capped rate':>18s} {'TUN drops?':>11s} {'fig12(d) verdict'}"]
+    for tick in TICKS:
+        rate, drops = rates[tick]
+        lines.append(
+            f"{tick * 1e3:6.1f}ms {rate / 1e6:15.1f}Mbps {drops > 0!s:>11s} {verdicts[tick]}"
+        )
+    paper_report("ablation_tick_size", "\n".join(lines))
+
+    base_rate, _ = rates[1e-3]
+    for tick in TICKS:
+        rate, drops = rates[tick]
+        assert rate == pytest.approx(base_rate, rel=0.05)
+        assert drops > 0  # over-vNIC traffic always overflows the TUN
+        assert verdicts[tick] == ["nfs"]

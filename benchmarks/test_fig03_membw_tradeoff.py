@@ -1,0 +1,36 @@
+"""Figure 3: memory vs network throughput tradeoff.
+
+Paper shape: network holds at line rate while the memory hogs are light,
+then declines linearly once the bus saturates (paper slope: -439 Mbps of
+network per +1 GB/s of memory throughput).
+"""
+
+import pytest
+
+from repro.scenarios.fig03_membw_tradeoff import run_sweep
+
+SWEEP_GBS = (0, 2, 4, 6, 8, 12, 16, 24, 36, 52)
+
+
+def test_fig03_membw_tradeoff(benchmark, paper_report):
+    result = benchmark.pedantic(
+        lambda: run_sweep(offered_points_gbs=SWEEP_GBS), rounds=1, iterations=1
+    )
+    lines = ["mem GB/s   network Gbps   (paper: flat at NIC rate, then linear decline)"]
+    for p in result.points:
+        lines.append(
+            f"{p.achieved_mem_gbytes_per_s:8.2f}   {p.network_gbps:12.2f}"
+        )
+    knee = result.knee_gbytes_per_s()
+    slope = result.declining_slope_mbps_per_gbs()
+    lines.append(f"knee at ~{knee:.1f} GB/s; declining slope {slope:.0f} Mbps per GB/s")
+    lines.append("paper: knee ~4-5 GB/s at 10 Gbps; slope -439 Mbps per GB/s")
+    paper_report("fig03_membw_tradeoff", "\n".join(lines))
+
+    baseline = result.points[0].network_gbps
+    # Shape assertions: flat region exists, then a real decline.
+    assert result.points[1].network_gbps == pytest.approx(baseline, rel=0.05)
+    assert result.points[-1].network_gbps < baseline * 0.75
+    assert slope < -100  # clearly negative, hundreds of Mbps per GB/s
+    assert knee < result.points[-1].achieved_mem_gbytes_per_s
+

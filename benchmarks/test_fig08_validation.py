@@ -1,0 +1,76 @@
+"""Figure 8: functional validation — five injected problems, five
+correctly localized drop sites, middlebox throughput dips during each.
+
+The middlebox flows are long-lived TCP with AIMD senders, so healthy
+phases show only tiny capacity-probe losses at the mb TUNs; each
+injected fault produces a drop signature orders of magnitude above that
+noise floor, at the location Table 1 predicts.
+"""
+
+import pytest
+
+from repro.core.rulebook import classify_location
+from repro.scenarios.fig08_validation import build_and_run
+
+#: fault phase -> (expected drop-location classes, expected scope)
+EXPECTED = {
+    "rx_flood": ({"pnic"}, "shared"),
+    "tx_small_flood": ({"pcpu_backlog"}, "shared"),
+    "cpu_contention": ({"tun"}, "shared"),
+    "membw_contention": ({"tun"}, "shared"),
+    # An in-guest CPU hog drops on the victim VM's individual path: its
+    # TUN and/or its guest backlog (see EXPERIMENTS.md).
+    "vm_cpu_hog": ({"tun", "vcpu_backlog"}, "individual"),
+}
+
+
+def test_fig08_validation_timeline(benchmark, paper_report):
+    result = benchmark.pedantic(build_and_run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'phase':18s} {'mb throughput':>14s} {'dominant drop location':>24s}",
+    ]
+    for p in result.phases:
+        dom = p.dominant_drop_location or "-"
+        lines.append(f"{p.name:18s} {p.throughput_bps / 1e6:11.1f}Mbps {dom:>24s}")
+    lines.append("paper: pNIC / backlog-enqueue / TUN(agg) / TUN(agg) / TUN(one VM)")
+    paper_report("fig08_validation", "\n".join(lines))
+
+    baseline = result.phase("baseline").throughput_bps
+    noise_floor = max(
+        result.phase("baseline").drops_by_location.values(), default=0.0
+    )
+    assert baseline > 100e6
+
+    # Quiet phases recover fully and stay at the probe-noise floor.
+    for name in ("quiet1", "quiet2", "quiet3", "quiet4"):
+        phase = result.phase(name)
+        assert phase.throughput_bps > 0.9 * baseline
+        quiet_worst = max(phase.drops_by_location.values(), default=0.0)
+        assert quiet_worst <= 2 * max(noise_floor, 1.0)
+
+    for name, (expected_classes, scope) in EXPECTED.items():
+        phase = result.phase(name)
+        dom = phase.dominant_drop_location
+        assert dom is not None, f"{name}: no drops observed"
+        assert classify_location(dom) in expected_classes, (
+            f"{name}: dominant drops at {dom}, expected class {expected_classes}"
+        )
+        # The fault signature clearly exceeds the healthy probe noise.
+        assert phase.drops_by_location[dom] > 2 * max(noise_floor, 1.0)
+        # Each injected problem visibly hurts the middlebox flows.
+        assert phase.throughput_bps < 0.85 * baseline
+
+    # Contention phases hit *every* tenant VM's TUN (aggregated)...
+    for name in ("cpu_contention", "membw_contention"):
+        tun_victims = {
+            loc
+            for loc, pkts in result.phase(name).drops_by_location.items()
+            if loc.startswith("tun-tenant") and pkts > 2 * max(noise_floor, 1.0)
+        }
+        assert len(tun_victims) == 6, f"{name}: {sorted(tun_victims)}"
+
+    # ...while the in-VM hog hits only the hogged middlebox VM's path.
+    vm_hog = result.phase("vm_cpu_hog")
+    dom = vm_hog.dominant_drop_location
+    assert dom.endswith("mb0"), dom

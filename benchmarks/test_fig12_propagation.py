@@ -1,0 +1,87 @@
+"""Figure 12: Algorithm-2 root-cause detection under propagation.
+
+Three injected conditions on the multi-chain topology (client -> LB ->
+content filters -> servers, filters logging to a shared NFS server), and
+in every case the algorithm must indict the true culprit:
+
+(b) overloaded server  -> LB/CF WriteBlocked, NFS ReadBlocked, server blamed
+(c) underloaded client -> everything downstream ReadBlocked, client blamed
+(d) buggy NFS          -> LB/CF WriteBlocked, servers ReadBlocked, NFS blamed
+"""
+
+from repro.scenarios.fig12_propagation import (
+    CASES,
+    EXPECTED_ROOT_CAUSE,
+    build_and_run,
+)
+
+#: Paper's per-case expected states for the measured datapath.
+EXPECTED_STATES = {
+    "overloaded_server": {
+        "lb": "write_blocked",
+        "cf1": "write_blocked",
+        "nfs": "read_blocked",
+        "server1": "unblocked",
+    },
+    "underloaded_client": {
+        "lb": "read_blocked",
+        "cf1": "read_blocked",
+        "server1": "read_blocked",
+        "client": "unblocked",
+    },
+    "buggy_nfs": {
+        "lb": "write_blocked",
+        "cf1": "write_blocked",
+        "server1": "read_blocked",
+        "nfs": "unblocked",
+    },
+}
+
+
+def _state_tag(state):
+    if state.write_blocked:
+        return "write_blocked"
+    if state.read_blocked:
+        return "read_blocked"
+    return "unblocked"
+
+
+def test_fig12_propagation(benchmark, paper_report):
+    results = benchmark.pedantic(
+        lambda: {case: build_and_run(case) for case in CASES},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = []
+    for case, res in results.items():
+        lines.append(f"--- {case} (paper blames: {EXPECTED_ROOT_CAUSE[case]})")
+        names = ["client", "lb", "cf1", "nfs", "server1"]
+        lines.append(
+            "        " + "".join(f"{n:>10s}" for n in names)
+        )
+        lines.append(
+            "b/t_in  "
+            + "".join(f"{res.b_over_ti_mbps[n]:10.1f}" for n in names)
+        )
+        lines.append(
+            "b/t_out "
+            + "".join(f"{res.b_over_to_mbps[n]:10.1f}" for n in names)
+        )
+        lines.append(f"root causes found: {res.report.root_causes}")
+    lines.append("(Mbps; C = 100 Mbps everywhere, as in the paper)")
+    paper_report("fig12_propagation", "\n".join(lines))
+
+    for case, res in results.items():
+        assert EXPECTED_ROOT_CAUSE[case] in res.report.root_causes, case
+        # No innocent middlebox on the measured path is blamed.
+        innocent = {"client", "lb", "cf1", "nfs", "server1"} - {
+            EXPECTED_ROOT_CAUSE[case],
+            # symmetric twin of an overloaded server is equally guilty
+            "server2" if case == "overloaded_server" else "",
+        }
+        for name in innocent & set(res.report.root_causes):
+            raise AssertionError(f"{case}: innocent {name} blamed")
+        for name, expected in EXPECTED_STATES[case].items():
+            got = _state_tag(res.report.verdict(name).state)
+            assert got == expected, f"{case}/{name}: {got} != {expected}"

@@ -1,0 +1,46 @@
+"""Figures 13-14: the multi-tenant operator workflow.
+
+Paper timeline: tenant 1 steady at 180 Mbps; tenant 2 capped at ~200 Mbps
+by its load balancer; a memory-intensive management task collapses both
+(~50 Mbps, oscillating); migrating it away restores them; scaling tenant
+2's LB out lifts it to its offered 360 Mbps.
+"""
+
+import pytest
+
+from repro.scenarios.fig13_operator import build_and_run
+
+
+def test_fig13_operator_workflow(benchmark, paper_report):
+    result = benchmark.pedantic(build_and_run, rounds=1, iterations=1)
+
+    lines = [f"{'phase':12s} {'tenant1 Mbps':>13s} {'tenant2 Mbps':>13s}  paper(t1/t2)"]
+    paper_vals = {
+        "bottleneck": "180 / 200",
+        "mem_task": "~50 / ~50",
+        "migrated": "180 / 200",
+        "scaled": "180 / 360",
+    }
+    for phase in ("bottleneck", "mem_task", "migrated", "scaled"):
+        t1 = result.phase_means_mbps["t1"][phase]
+        t2 = result.phase_means_mbps["t2"][phase]
+        lines.append(f"{phase:12s} {t1:13.0f} {t2:13.0f}  {paper_vals[phase]}")
+    lines.extend("  " + entry for entry in result.diagnosis_log)
+    paper_report("fig13_operator", "\n".join(lines))
+
+    t1, t2 = result.phase_means_mbps["t1"], result.phase_means_mbps["t2"]
+    assert t1["bottleneck"] == pytest.approx(180, rel=0.05)
+    assert t2["bottleneck"] == pytest.approx(200, rel=0.10)  # LB-capped
+    # Contention collapses both tenants.
+    assert t1["mem_task"] < 0.5 * t1["bottleneck"]
+    assert t2["mem_task"] < 0.5 * t2["bottleneck"]
+    # Migration restores the pre-contention rates (tenant 2 briefly
+    # overshoots its 200 Mbps LB cap while the backlog queued during the
+    # contention window drains).
+    assert t1["migrated"] == pytest.approx(t1["bottleneck"], rel=0.05)
+    assert 0.9 * t2["bottleneck"] <= t2["migrated"] <= 1.3 * t2["bottleneck"]
+    # Scale-out releases tenant 2 to its offered 360 Mbps.
+    assert t2["scaled"] == pytest.approx(360, rel=0.10)
+    assert t1["scaled"] == pytest.approx(180, rel=0.05)
+    # The console identified tenant 2's LB as the bottleneck.
+    assert any("roots=['t2-lb']" in e for e in result.diagnosis_log)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: build a software dataplane, break it, let PerfSight find it.
+
+This walks the full PerfSight loop on one machine:
+
+1. build a simulated NFV host (the Figure-5 pipeline) with three VMs
+   running an HTTP client -> proxy -> HTTP server chain;
+2. attach a PerfSight agent + controller and watch the healthy baseline;
+3. inject a performance bug (a "bad upgrade" that makes the proxy 50x
+   more expensive per byte) — the classic soft failure of Section 2.2;
+4. run Algorithm 2 and print the root-cause report.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.cluster.chains import build_chain
+from repro.core.diagnosis import RootCauseLocator
+from repro.core.query import QueryRunner
+from repro.middleboxes.http import HttpClient, HttpServer
+from repro.middleboxes.proxy import Proxy
+from repro.scenarios.common import Harness
+from repro.workloads.faults import inject_perf_bug
+
+
+def main() -> None:
+    # -- 1. the world ---------------------------------------------------------
+    h = Harness(seed=1)
+    machine = h.add_machine("host-1")
+    tenant = h.add_tenant("acme")
+
+    client = HttpClient(
+        h.sim, machine.add_vm("vm-client", vnic_bps=100e6), "client"
+    )
+    proxy = Proxy(h.sim, machine.add_vm("vm-proxy", vnic_bps=100e6), "proxy")
+    server = HttpServer(
+        h.sim, machine.add_vm("vm-server", vnic_bps=100e6), "server"
+    )
+    build_chain([client, proxy, server], tenant.vnet)
+    for app in (client, proxy, server):
+        h.register_app(app)
+
+    # -- 2. healthy baseline ----------------------------------------------------
+    h.advance(3.0)
+    query = QueryRunner(h.controller, h.advance, interval_s=1.0)
+    rate = query.get_throughput("acme", "server", attr="inBytes")
+    print(f"baseline server goodput: {rate * 8 / 1e6:.1f} Mbps")
+
+    # -- 3. the 'upgrade' ---------------------------------------------------------
+    print("\n-> deploying buggy proxy build (50x per-byte cost)...")
+    inject_perf_bug(proxy, 50.0)
+    h.advance(3.0)
+    rate = query.get_throughput("acme", "server", attr="inBytes")
+    print(f"post-upgrade goodput: {rate * 8 / 1e6:.1f} Mbps")
+
+    # -- 4. diagnosis ----------------------------------------------------------------
+    locator = RootCauseLocator(h.controller, h.advance, window_s=2.0)
+    report = locator.run("acme")
+    print()
+    print(report.summary())
+    print(f"\nPerfSight blames: {report.root_causes}")
+    assert report.root_causes == ["proxy"], "diagnosis should indict the proxy"
+
+
+if __name__ == "__main__":
+    main()

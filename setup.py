@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The primary metadata lives in pyproject.toml.  This file exists so the
+package can be installed in environments whose setuptools predates
+bundled bdist_wheel support (no `wheel` package available offline):
+``python setup.py develop`` installs an egg-link without building a wheel.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""PerfSight reproduction: performance diagnosis for software dataplanes.
+
+A full Python reproduction of *PerfSight: Performance Diagnosis for
+Software Dataplanes* (Wu, He, Akella - IMC 2015), built on a simulated
+NFV substrate (see DESIGN.md for the substitution rationale).
+
+Layers, bottom-up:
+
+* :mod:`repro.simnet`      - fixed-tick simulation engine, buffers, resources
+* :mod:`repro.dataplane`   - the Figure-5 virtualization stack + VMs
+* :mod:`repro.transport`   - TCP window backpressure / UDP datagrams
+* :mod:`repro.middleboxes` - middlebox apps with I/O-time accounting
+* :mod:`repro.workloads`   - traffic generators, stress hogs, fault injection
+* :mod:`repro.cluster`     - tenants, chains, placement
+* :mod:`repro.core`        - PerfSight itself: counters, channels, agent,
+                             controller, rule book, Algorithms 1 & 2
+* :mod:`repro.scenarios`   - one builder per paper table/figure
+
+See ``examples/quickstart.py`` for the end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,153 @@
+"""Command-line front end: ``python -m repro.cli <command>``.
+
+Runs the reproduction's experiments and demos from a shell:
+
+* ``quickstart``        — the examples/quickstart.py walkthrough
+* ``fig12 --case X``    — one Figure-12 propagation case with the b/t table
+* ``fig10``             — the backlog-contention experiment summary
+* ``table1``            — rebuild the Table-1 rule book
+* ``fig16``             — poll-frequency vs agent CPU table
+* ``list``              — the experiment inventory with paper references
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+EXPERIMENTS = {
+    "fig03": "memory-bandwidth vs network throughput tradeoff (Figure 3)",
+    "fig08": "functional validation timeline (Figure 8) [slow: ~2 min]",
+    "fig09": "agent response time per channel (Figure 9)",
+    "fig10": "pCPU backlog contention (Figure 10)",
+    "fig11": "memory-bandwidth contention (Figure 11)",
+    "fig12": "root cause under propagation (Figure 12)",
+    "fig13": "multi-tenant operator workflow (Figures 13-14)",
+    "table1": "resource-shortage/drop-location rule book (Table 1)",
+    "table2": "time-counter overhead (Table 2)",
+    "fig15": "overhead across middlebox types (Figure 15)",
+    "fig16": "poll frequency vs agent CPU (Figure 16)",
+}
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("experiments (run the benchmarks for full reproduction):")
+    for name, desc in EXPERIMENTS.items():
+        print(f"  {name:8s} {desc}")
+    return 0
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    import importlib.util
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[2] / "examples" / "quickstart.py"
+    if path.exists():
+        spec = importlib.util.spec_from_file_location("quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)  # type: ignore[union-attr]
+        module.main()
+        return 0
+    print("examples/quickstart.py not found next to the package", file=sys.stderr)
+    return 1
+
+
+def cmd_fig12(args: argparse.Namespace) -> int:
+    from repro.scenarios.fig12_propagation import (
+        CASES,
+        EXPECTED_ROOT_CAUSE,
+        build_and_run,
+    )
+
+    cases = CASES if args.case == "all" else (args.case,)
+    for case in cases:
+        result = build_and_run(case)
+        print(f"== {case}")
+        names = ["client", "lb", "cf1", "nfs", "server1"]
+        print("          " + "".join(f"{n:>10s}" for n in names))
+        print(
+            "  b/t_in  " + "".join(f"{result.b_over_ti_mbps[n]:10.1f}" for n in names)
+        )
+        print(
+            "  b/t_out " + "".join(f"{result.b_over_to_mbps[n]:10.1f}" for n in names)
+        )
+        print(
+            f"  root causes: {result.report.root_causes} "
+            f"(paper: {EXPECTED_ROOT_CAUSE[case]})"
+        )
+    return 0
+
+
+def cmd_fig10(args: argparse.Namespace) -> int:
+    from repro.scenarios.fig10_backlog_contention import FLOOD_START_S, build_and_run
+
+    result = build_and_run()
+    before = result.mean_flow1_mbps(3, FLOOD_START_S)
+    after = result.mean_flow1_mbps(FLOOD_START_S + 2, 25)
+    print(f"flow1: {before:.0f} Mbps before the flood, {after:.0f} Mbps during")
+    print(f"NIC saturated: {result.nic_saturated}")
+    print(f"drop locations: { {k: round(v) for k, v in result.drops_by_location.items() if v > 10} }")
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from repro.scenarios.table1_rulebook import run_all
+
+    print(f"{'resource in shortage':26s} {'observed class':16s} verdict")
+    for row in run_all():
+        print(
+            f"{row.resource:26s} {row.dominant_class:16s} "
+            f"{'/'.join(row.verdict_resources)} ({row.verdict_scope})"
+        )
+    return 0
+
+
+def cmd_fig16(args: argparse.Namespace) -> int:
+    from repro.scenarios.overhead import run_fig16
+
+    print(f"{'poll Hz':>8s} {'agent CPU %':>12s}")
+    for hz, pct in run_fig16():
+        print(f"{hz:8.0f} {pct:12.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cli",
+        description="PerfSight reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the experiment inventory").set_defaults(
+        fn=cmd_list
+    )
+    sub.add_parser("quickstart", help="run the quickstart walkthrough").set_defaults(
+        fn=cmd_quickstart
+    )
+    p12 = sub.add_parser("fig12", help="Figure-12 propagation case(s)")
+    p12.add_argument(
+        "--case",
+        choices=("overloaded_server", "underloaded_client", "buggy_nfs", "all"),
+        default="all",
+    )
+    p12.set_defaults(fn=cmd_fig12)
+    sub.add_parser("fig10", help="Figure-10 backlog contention").set_defaults(
+        fn=cmd_fig10
+    )
+    sub.add_parser("table1", help="rebuild the Table-1 rule book").set_defaults(
+        fn=cmd_table1
+    )
+    sub.add_parser("fig16", help="poll frequency vs agent CPU").set_defaults(
+        fn=cmd_fig16
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

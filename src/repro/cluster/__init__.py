@@ -1,0 +1,22 @@
+"""Tenant virtual clusters: topology, chains, placement.
+
+The control-plane model of Figure 1: tenants deploy virtual clusters of
+application endpoints and middleboxes connected by logical links; the
+(simulated) cloud controller places VMs on physical machines and
+installs forwarding state.  PerfSight's controller reads this model to
+resolve ``vNet[tenantID].elem[elementID]`` to a physical location, and
+Algorithm 2 walks the middlebox successor/predecessor graph it records.
+"""
+
+from repro.cluster.chains import build_chain, connect_apps
+from repro.cluster.placement import Placement
+from repro.cluster.topology import MiddleboxNode, Tenant, VirtualNetwork
+
+__all__ = [
+    "MiddleboxNode",
+    "Placement",
+    "Tenant",
+    "VirtualNetwork",
+    "build_chain",
+    "connect_apps",
+]

@@ -1,0 +1,116 @@
+"""Wiring middlebox chains.
+
+``connect_apps`` creates one TCP connection between two apps — the
+dataplane flow, the window bookkeeping, switch/fabric routing — and
+returns the :class:`~repro.transport.tcp.Connection` the upstream app
+writes into.  ``build_chain`` strings apps into a linear chain and
+records the edges in the tenant's virtual network, which is the input
+Algorithm 2 needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.cluster.topology import VirtualNetwork
+from repro.middleboxes.base import App, OutputPort
+from repro.simnet.packet import Flow
+from repro.transport.tcp import Connection
+
+
+def connect_apps(
+    src_app: App,
+    dst_app: App,
+    conn_id: str,
+    fabric=None,
+    packet_bytes: float = 1500.0,
+    tenant_id: str = "",
+) -> Connection:
+    """Create a TCP connection from ``src_app`` to ``dst_app``.
+
+    Cross-machine connections need the shared ``fabric`` so the egress
+    frames find the destination machine.  The connection is registered
+    with the simulator's transport registry (which must exist).
+    """
+    src_vm = src_app.vm
+    dst_vm = dst_app.vm
+    sim = src_vm.sim
+    registry = getattr(sim, "transport_registry", None)
+    if registry is None:
+        raise RuntimeError(
+            "no TransportRegistry on this simulator; create one before wiring apps"
+        )
+    flow = Flow(
+        flow_id=f"flow:{conn_id}",
+        tenant_id=tenant_id or src_vm.tenant_id,
+        src_vm=src_vm.vm_id,
+        dst_vm=dst_vm.vm_id,
+        kind="tcp",
+        conn_id=conn_id,
+        packet_bytes=packet_bytes,
+    )
+    conn = Connection(
+        conn_id,
+        flow,
+        rcv_socket=dst_app.socket,
+        tx_submit=src_vm.tx_submit,
+        tx_space=src_vm.tx_space,
+    )
+    registry.register(conn)
+    if src_vm.machine_name != dst_vm.machine_name:
+        if fabric is None:
+            raise RuntimeError(
+                f"connection {conn_id!r} crosses machines "
+                f"({src_vm.machine_name!r} -> {dst_vm.machine_name!r}); pass the fabric"
+            )
+        fabric.route_flow(flow.flow_id, _machine_inject(fabric, dst_vm.machine_name))
+    return conn
+
+
+def _machine_inject(fabric, machine_name: str):
+    machine = fabric._machines.get(machine_name)
+    if machine is None:
+        raise RuntimeError(f"machine {machine_name!r} is not attached to the fabric")
+    return machine.inject
+
+
+def build_chain(
+    apps: Sequence[App],
+    vnet: VirtualNetwork,
+    fabric=None,
+    conn_prefix: str = "chain",
+    output_ratio: float = 1.0,
+) -> List[Connection]:
+    """Connect ``apps`` linearly and record nodes + edges in ``vnet``.
+
+    Each non-terminal app gets an :class:`OutputPort` to its successor.
+    Apps already present in the vnet (multi-chain topologies sharing a
+    node) are reused.
+    """
+    if len(apps) < 2:
+        raise ValueError("a chain needs at least two apps")
+    conns: List[Connection] = []
+    for app in apps:
+        try:
+            vnet.middlebox(app.name)
+        except KeyError:
+            vnet.add_middlebox(
+                app.name,
+                machine=app.vm.machine_name,
+                element_id=app.name,
+                vm_id=app.vm.vm_id,
+                mb_type=app.mb_type,
+            )
+    for i in range(len(apps) - 1):
+        src, dst = apps[i], apps[i + 1]
+        conn = connect_apps(
+            src,
+            dst,
+            conn_id=f"{conn_prefix}:{src.name}->{dst.name}",
+            fabric=fabric,
+            tenant_id=vnet.tenant_id,
+        )
+        src.add_output(OutputPort(conn, ratio=output_ratio, name=dst.name))
+        vnet.add_edge(src.name, dst.name)
+        conns.append(conn)
+    return conns

@@ -1,0 +1,59 @@
+"""VM placement registry.
+
+The cloud controller's record of which physical machine hosts which VM.
+PerfSight's controller uses it to find the agent responsible for an
+element; the operator application uses it for migration decisions
+("migrate some of the network-intensive VMs", Section 7.2) and for the
+elements-overlap reasoning of the scalability discussion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Placement:
+    """Tracks VM -> machine and tenant -> VMs assignments."""
+
+    def __init__(self) -> None:
+        self._vm_machine: Dict[str, str] = {}
+        self._vm_tenant: Dict[str, str] = {}
+
+    def place(self, vm_id: str, machine: str, tenant_id: str = "") -> None:
+        if vm_id in self._vm_machine:
+            raise ValueError(f"VM {vm_id!r} already placed on {self._vm_machine[vm_id]!r}")
+        self._vm_machine[vm_id] = machine
+        if tenant_id:
+            self._vm_tenant[vm_id] = tenant_id
+
+    def migrate(self, vm_id: str, new_machine: str) -> str:
+        """Move a VM; returns the old machine."""
+        if vm_id not in self._vm_machine:
+            raise KeyError(f"VM {vm_id!r} is not placed")
+        old = self._vm_machine[vm_id]
+        self._vm_machine[vm_id] = new_machine
+        return old
+
+    def machine_of(self, vm_id: str) -> str:
+        try:
+            return self._vm_machine[vm_id]
+        except KeyError:
+            raise KeyError(f"VM {vm_id!r} is not placed") from None
+
+    def vms_on(self, machine: str) -> List[str]:
+        return sorted(vm for vm, m in self._vm_machine.items() if m == machine)
+
+    def tenant_of(self, vm_id: str) -> Optional[str]:
+        return self._vm_tenant.get(vm_id)
+
+    def vms_of_tenant(self, tenant_id: str) -> List[str]:
+        return sorted(vm for vm, t in self._vm_tenant.items() if t == tenant_id)
+
+    def colocated_tenants(self, machine: str) -> List[str]:
+        """Tenants whose dataplanes overlap on one machine (Section 2.1)."""
+        tenants = {
+            self._vm_tenant[vm]
+            for vm in self.vms_on(machine)
+            if vm in self._vm_tenant
+        }
+        return sorted(tenants)

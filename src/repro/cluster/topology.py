@@ -1,0 +1,125 @@
+"""Virtual-network topology model.
+
+A :class:`VirtualNetwork` records, for one tenant:
+
+* every *element* the tenant's traffic touches, as a logical name mapped
+  to ``(machine, element_id)`` — the resolution the PerfSight controller
+  performs (``vNet[tenantID].elem[elementID]``, Section 4.3);
+* the middlebox graph — nodes with successor/predecessor edges along
+  the direction of traffic — which Algorithm 2 traverses when it
+  eliminates ReadBlocked successors and WriteBlocked predecessors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class MiddleboxNode:
+    """One middlebox (or endpoint app) in a tenant's virtual network."""
+
+    name: str
+    machine: str
+    element_id: str
+    vm_id: str = ""
+    mb_type: str = "middlebox"
+    successors: List[str] = field(default_factory=list)
+    predecessors: List[str] = field(default_factory=list)
+
+
+class VirtualNetwork:
+    """A tenant's logical cluster: elements + middlebox graph."""
+
+    def __init__(self, tenant_id: str) -> None:
+        self.tenant_id = tenant_id
+        self._elements: Dict[str, Tuple[str, str]] = {}
+        self._middleboxes: Dict[str, MiddleboxNode] = {}
+
+    # -- element registry ----------------------------------------------------------
+
+    def register_element(self, logical: str, machine: str, element_id: str) -> None:
+        if logical in self._elements:
+            raise ValueError(f"element {logical!r} already registered")
+        self._elements[logical] = (machine, element_id)
+
+    def locate(self, logical: str) -> Tuple[str, str]:
+        """Resolve a logical element name to (machine, element_id)."""
+        try:
+            return self._elements[logical]
+        except KeyError:
+            raise KeyError(
+                f"tenant {self.tenant_id!r} has no element {logical!r}"
+            ) from None
+
+    def elements(self) -> Dict[str, Tuple[str, str]]:
+        return dict(self._elements)
+
+    # -- middlebox graph ---------------------------------------------------------------
+
+    def add_middlebox(
+        self,
+        name: str,
+        machine: str,
+        element_id: str,
+        vm_id: str = "",
+        mb_type: str = "middlebox",
+    ) -> MiddleboxNode:
+        if name in self._middleboxes:
+            raise ValueError(f"middlebox {name!r} already in virtual network")
+        node = MiddleboxNode(name, machine, element_id, vm_id, mb_type)
+        self._middleboxes[name] = node
+        self.register_element(name, machine, element_id)
+        return node
+
+    def add_edge(self, upstream: str, downstream: str) -> None:
+        """Record that traffic flows from ``upstream`` to ``downstream``."""
+        up = self.middlebox(upstream)
+        down = self.middlebox(downstream)
+        if downstream not in up.successors:
+            up.successors.append(downstream)
+        if upstream not in down.predecessors:
+            down.predecessors.append(upstream)
+
+    def middlebox(self, name: str) -> MiddleboxNode:
+        try:
+            return self._middleboxes[name]
+        except KeyError:
+            raise KeyError(
+                f"tenant {self.tenant_id!r} has no middlebox {name!r}"
+            ) from None
+
+    def middleboxes(self) -> List[MiddleboxNode]:
+        return list(self._middleboxes.values())
+
+    def successors_closure(self, name: str) -> List[str]:
+        """All middleboxes downstream of ``name`` (transitive)."""
+        return self._closure(name, lambda n: n.successors)
+
+    def predecessors_closure(self, name: str) -> List[str]:
+        """All middleboxes upstream of ``name`` (transitive)."""
+        return self._closure(name, lambda n: n.predecessors)
+
+    def _closure(self, name, edge_fn) -> List[str]:
+        seen: List[str] = []
+        frontier = list(edge_fn(self.middlebox(name)))
+        while frontier:
+            nxt = frontier.pop()
+            if nxt in seen:
+                continue
+            seen.append(nxt)
+            frontier.extend(edge_fn(self.middlebox(nxt)))
+        return seen
+
+
+@dataclass
+class Tenant:
+    """A tenant and its virtual network."""
+
+    tenant_id: str
+    vnet: VirtualNetwork = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.vnet is None:
+            self.vnet = VirtualNetwork(self.tenant_id)

@@ -1,0 +1,99 @@
+"""The PerfSight controller (Section 4.3).
+
+The controller sits between diagnostic applications and the per-server
+agents.  It holds the tenant registry (``vNet[tenantID]``), resolves a
+logical element to its physical location, forwards the query to the
+right agent, and hands the records back.  Agents are reached through an
+``AgentHandle`` — in-process for simulations and tests, or the TCP
+client in :mod:`repro.core.net` for the real split-process deployment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Protocol
+
+from repro.cluster.topology import Tenant, VirtualNetwork
+from repro.core.agent import Agent
+from repro.core.records import StatRecord
+
+
+class AgentHandle(Protocol):
+    """What the controller needs from an agent, local or remote."""
+
+    name: str
+
+    def query(
+        self,
+        element_ids: Optional[Iterable[str]] = None,
+        attrs: Optional[Iterable[str]] = None,
+    ) -> List[StatRecord]: ...
+
+    def element_ids(self) -> List[str]: ...
+
+
+class Controller:
+    """Routes statistics requests between operators and agents."""
+
+    def __init__(self, name: str = "perfsight-controller") -> None:
+        self.name = name
+        self._agents: Dict[str, AgentHandle] = {}
+        self._tenants: Dict[str, Tenant] = {}
+
+    # -- registration -----------------------------------------------------------------
+
+    def register_agent(self, machine_name: str, agent: AgentHandle) -> None:
+        if machine_name in self._agents:
+            raise ValueError(f"machine {machine_name!r} already has an agent")
+        self._agents[machine_name] = agent
+
+    def register_local_agent(self, agent: Agent) -> None:
+        """Convenience for in-process agents."""
+        self.register_agent(agent.machine.name, agent)
+
+    def register_tenant(self, tenant: Tenant) -> None:
+        if tenant.tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant.tenant_id!r} already registered")
+        self._tenants[tenant.tenant_id] = tenant
+
+    # -- lookups ------------------------------------------------------------------------
+
+    def tenant(self, tenant_id: str) -> Tenant:
+        try:
+            return self._tenants[tenant_id]
+        except KeyError:
+            raise KeyError(f"unknown tenant {tenant_id!r}") from None
+
+    def vnet(self, tenant_id: str) -> VirtualNetwork:
+        return self.tenant(tenant_id).vnet
+
+    def agent_for(self, machine_name: str) -> AgentHandle:
+        try:
+            return self._agents[machine_name]
+        except KeyError:
+            raise KeyError(f"no agent registered for machine {machine_name!r}") from None
+
+    def machines(self) -> List[str]:
+        return sorted(self._agents)
+
+    # -- the GetAttr primitive (Figure 6) --------------------------------------------------
+
+    def get_attr(
+        self,
+        tenant_id: str,
+        element_logical: str,
+        attrs: Optional[Iterable[str]] = None,
+    ) -> StatRecord:
+        """``vNet[tenantID].elem[elementID].attr[attributes]``."""
+        machine, element_id = self.vnet(tenant_id).locate(element_logical)
+        agent = self.agent_for(machine)
+        records = agent.query([element_id], attrs)
+        return records[0]
+
+    def query_machine(
+        self,
+        machine_name: str,
+        element_ids: Optional[Iterable[str]] = None,
+        attrs: Optional[Iterable[str]] = None,
+    ) -> List[StatRecord]:
+        """Raw per-machine query (used by machine-scoped diagnostics)."""
+        return self.agent_for(machine_name).query(element_ids, attrs)

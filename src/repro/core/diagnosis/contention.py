@@ -1,0 +1,133 @@
+"""Algorithm 1: detect contention and bottleneck locations.
+
+For every element in a machine's virtualization stack, take two counter
+samples T seconds apart, compute the element's packet loss (growth of
+in-minus-out, exactly the paper's GetPktLoss), sort descending, and map
+the observed drop locations through the Table-1 rule book.  Whether the
+loss is spread across VMs (contention) or confined to one VM's path
+(bottleneck) comes from the per-VM drop locations and the per-flow
+attribution the buffers keep.
+
+Cost is linear in the number of elements, as the paper notes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.controller import Controller
+from repro.core.diagnosis.report import ContentionReport, ElementLoss
+from repro.core.records import StatRecord
+from repro.core.rulebook import RuleBook
+
+
+class ContentionDetector:
+    """FindContentionAndMiddlebox() over one machine's stack."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        advance: Callable[[float], None],
+        rulebook: Optional[RuleBook] = None,
+        window_s: float = 1.0,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window must be positive: {window_s!r}")
+        self.controller = controller
+        self.advance = advance
+        self.rulebook = rulebook if rulebook is not None else RuleBook()
+        self.window_s = window_s
+
+    def _stack_element_ids(self, machine_name: str) -> List[str]:
+        agent = self.controller.agent_for(machine_name)
+        stack_lister = getattr(agent, "stack_element_ids", None)
+        if stack_lister is not None:
+            return stack_lister()
+        # Fall back to the machine walk for in-process agents.
+        machine = getattr(agent, "machine", None)
+        if machine is None:
+            raise RuntimeError(
+                f"agent for {machine_name!r} cannot enumerate stack elements"
+            )
+        return [e.name for e in machine.stack_elements()]
+
+    def run(self, machine_name: str, window_s: Optional[float] = None) -> ContentionReport:
+        """Sample, wait, sample, rank; returns the full report."""
+        window = window_s if window_s is not None else self.window_s
+        ids = self._stack_element_ids(machine_name)
+        before = {r.element_id: r for r in self.controller.query_machine(machine_name, ids)}
+        self.advance(window)
+        after = {r.element_id: r for r in self.controller.query_machine(machine_name, ids)}
+
+        ranked: List[ElementLoss] = []
+        for eid in ids:
+            loss = self._element_loss(before[eid], after[eid])
+            ranked.append(loss)
+        ranked.sort(key=lambda el: -el.loss_pkts)
+
+        drops_all: Dict[str, float] = {}
+        for el in ranked:
+            for loc, pkts in el.drops_by_location.items():
+                drops_all[loc] = drops_all.get(loc, 0.0) + pkts
+        verdicts = self.rulebook.diagnose_all(drops_all)
+        report = ContentionReport(
+            machine=machine_name, window_s=window, ranked=ranked, verdicts=verdicts
+        )
+        report.disambiguated = self._disambiguate(machine_name, verdicts)
+        return report
+
+    def _disambiguate(self, machine_name: str, verdicts) -> Optional[str]:
+        """Resolve a CPU-vs-memory-bandwidth verdict with host gauges.
+
+        Section 5.1's operator step, automated: high CPU utilization
+        implicates CPU; a busy memory bus with CPU headroom implicates
+        the bus.  Returns the chosen resource id or None if nothing to
+        disambiguate (or the agent cannot report host stats).
+        """
+        from repro.core.rulebook import CPU, MEMORY_BANDWIDTH
+
+        ambiguous = [
+            v for v in verdicts if set(v.resources) == {CPU, MEMORY_BANDWIDTH}
+        ]
+        if not ambiguous:
+            return None
+        agent = self.controller.agent_for(machine_name)
+        host_stats = getattr(agent, "host_stats", None)
+        if host_stats is None:
+            return None
+        stats = host_stats()
+        cpu_util = stats.get("cpu_utilization")
+        bus_util = stats.get("membus_utilization")
+        # The bus gauge is decisive: a saturated memory bus explains the
+        # TUN drops regardless of how busy the CPUs *look* (stalled
+        # copies hold their CPU grants, so CPU utilization reads high
+        # under bus contention too — the same trap as the busy-waiting
+        # transcoder of Section 2.3).
+        if bus_util >= 0.95:
+            return MEMORY_BANDWIDTH
+        if cpu_util >= 0.9:
+            return CPU
+        return None
+
+    @staticmethod
+    def _element_loss(before: StatRecord, after: StatRecord) -> ElementLoss:
+        gap_before = before.get("rx_pkts") - before.get("tx_pkts")
+        gap_after = after.get("rx_pkts") - after.get("tx_pkts")
+        drops_by_location: Dict[str, float] = {}
+        drops_by_flow: Dict[str, float] = {}
+        for attr, value in after.items():
+            if attr.startswith("drops."):
+                delta = value - before.get(attr)
+                if delta > 0:
+                    drops_by_location[attr[len("drops."):]] = delta
+            elif attr.startswith("drops_flow."):
+                delta = value - before.get(attr)
+                if delta > 0:
+                    drops_by_flow[attr[len("drops_flow."):]] = delta
+        return ElementLoss(
+            element_id=after.element_id,
+            machine=after.machine,
+            loss_pkts=gap_after - gap_before,
+            drops_by_location=drops_by_location,
+            drops_by_flow=drops_by_flow,
+        )

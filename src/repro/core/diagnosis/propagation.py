@@ -1,0 +1,112 @@
+"""Algorithm 2: locate the root-cause middlebox under propagation.
+
+Fetch each middlebox's ``inBytes/inTime/outBytes/outTime`` twice, T
+apart; classify Read/WriteBlocked; then eliminate:
+
+* a ReadBlocked middlebox and all its successors (they are starved by
+  something upstream, not at fault themselves);
+* a WriteBlocked middlebox and all its predecessors (they are throttled
+  by something downstream).
+
+What survives is the root cause set.  A survivor whose successors are
+ReadBlocked is *Underloaded* (a slow source); one whose predecessors
+are WriteBlocked is *Overloaded* (a slow consumer) — the labels of
+Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.topology import VirtualNetwork
+from repro.core.controller import Controller
+from repro.core.diagnosis.report import MiddleboxVerdict, RootCauseReport
+from repro.core.diagnosis.states import MiddleboxState, classify_state
+
+STAT_ATTRS = ["inBytes", "inTime", "outBytes", "outTime"]
+
+
+class RootCauseLocator:
+    """GetRootCause(tenant) per Algorithm 2."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        advance: Callable[[float], None],
+        window_s: float = 1.0,
+        theta: float = 0.9,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError(f"window must be positive: {window_s!r}")
+        self.controller = controller
+        self.advance = advance
+        self.window_s = window_s
+        self.theta = theta
+
+    def run(self, tenant_id: str, window_s: Optional[float] = None) -> RootCauseReport:
+        window = window_s if window_s is not None else self.window_s
+        vnet = self.controller.vnet(tenant_id)
+        names = [node.name for node in vnet.middleboxes()]
+
+        before = {
+            name: self.controller.get_attr(tenant_id, name, STAT_ATTRS)
+            for name in names
+        }
+        self.advance(window)
+        after = {
+            name: self.controller.get_attr(tenant_id, name, STAT_ATTRS)
+            for name in names
+        }
+
+        states: Dict[str, MiddleboxState] = {}
+        for name in names:
+            capacity = self.controller.get_attr(
+                tenant_id, name, ["capacity_bps"]
+            ).get("capacity_bps", 0.0)
+            if capacity <= 0:
+                raise RuntimeError(
+                    f"middlebox {name!r} does not expose its vNIC capacity"
+                )
+            states[name] = classify_state(
+                name, before[name], after[name], capacity, theta=self.theta
+            )
+
+        candidates = set(names)
+        for name in names:
+            state = states[name]
+            if state.read_blocked:
+                candidates.discard(name)
+                candidates.difference_update(vnet.successors_closure(name))
+            if state.write_blocked:
+                candidates.discard(name)
+                candidates.difference_update(vnet.predecessors_closure(name))
+
+        verdicts: List[MiddleboxVerdict] = []
+        for name in names:
+            state = states[name]
+            is_root = name in candidates
+            label = self._label(vnet, states, name, is_root)
+            verdicts.append(MiddleboxVerdict(name, state, is_root, label))
+        return RootCauseReport(tenant_id=tenant_id, window_s=window, verdicts=verdicts)
+
+    @staticmethod
+    def _label(
+        vnet: VirtualNetwork,
+        states: Dict[str, MiddleboxState],
+        name: str,
+        is_root: bool,
+    ) -> str:
+        if not is_root:
+            return "eliminated"
+        node = vnet.middlebox(name)
+        succ_read_blocked = [
+            s for s in node.successors if s in states and states[s].read_blocked
+        ]
+        pred_write_blocked = [
+            p for p in node.predecessors if p in states and states[p].write_blocked
+        ]
+        if pred_write_blocked:
+            return "overloaded"
+        if succ_read_blocked:
+            return "underloaded"
+        return "unclear"

@@ -1,0 +1,89 @@
+"""Diagnosis report structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.diagnosis.states import MiddleboxState
+from repro.core.rulebook import Verdict
+
+
+@dataclass(frozen=True)
+class ElementLoss:
+    """One element's loss over the diagnosis window (Algorithm 1 row)."""
+
+    element_id: str
+    machine: str
+    loss_pkts: float
+    drops_by_location: Dict[str, float] = field(default_factory=dict)
+    drops_by_flow: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ContentionReport:
+    """Algorithm 1 output: loss-ranked elements + rule-book verdicts."""
+
+    machine: str
+    window_s: float
+    ranked: List[ElementLoss]
+    verdicts: List[Verdict]
+    #: Section-5.1 operator step, automated: when the verdict is the
+    #: ambiguous {CPU, memory-bandwidth} pair, host utilization gauges
+    #: pick one (None when unambiguous or indistinguishable).
+    disambiguated: Optional[str] = None
+
+    @property
+    def worst(self) -> Optional[ElementLoss]:
+        return self.ranked[0] if self.ranked else None
+
+    def summary(self) -> str:
+        lines = [f"Contention/bottleneck report for {self.machine} ({self.window_s}s):"]
+        for el in self.ranked[:5]:
+            locs = ", ".join(
+                f"{loc}={pkts:.0f}" for loc, pkts in sorted(
+                    el.drops_by_location.items(), key=lambda kv: -kv[1]
+                )
+            )
+            lines.append(f"  {el.element_id}: loss={el.loss_pkts:.0f} [{locs}]")
+        for verdict in self.verdicts:
+            lines.append(f"  -> {verdict.describe()}")
+        if self.disambiguated:
+            lines.append(f"  -> host gauges implicate: {self.disambiguated}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class MiddleboxVerdict:
+    """One middlebox's role in a propagation diagnosis."""
+
+    name: str
+    state: MiddleboxState
+    is_root_cause: bool
+    label: str  # "overloaded" | "underloaded" | "eliminated" | "unclear"
+
+
+@dataclass
+class RootCauseReport:
+    """Algorithm 2 output."""
+
+    tenant_id: str
+    window_s: float
+    verdicts: List[MiddleboxVerdict]
+
+    @property
+    def root_causes(self) -> List[str]:
+        return [v.name for v in self.verdicts if v.is_root_cause]
+
+    def verdict(self, name: str) -> MiddleboxVerdict:
+        for v in self.verdicts:
+            if v.name == name:
+                return v
+        raise KeyError(f"no verdict for middlebox {name!r}")
+
+    def summary(self) -> str:
+        lines = [f"Root-cause report for tenant {self.tenant_id} ({self.window_s}s):"]
+        for v in self.verdicts:
+            marker = "**ROOT CAUSE**" if v.is_root_cause else v.label
+            lines.append(f"  {v.state.describe()}  [{marker}]")
+        return "\n".join(lines)

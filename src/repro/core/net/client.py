@@ -1,0 +1,92 @@
+"""TCP client implementing the controller's AgentHandle over the wire."""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable, List, Optional
+
+from repro.core.net.protocol import ProtocolError, recv_message, send_message
+from repro.core.records import StatRecord
+
+
+class RemoteAgentHandle:
+    """Controller-side proxy for an agent behind an :class:`AgentServer`.
+
+    Keeps one persistent connection (reconnecting on failure); all
+    operations are synchronous request/response.
+    """
+
+    def __init__(self, host: str, port: int, name: str = "", timeout_s: float = 5.0):
+        self.host = host
+        self.port = port
+        self.name = name or f"remote-agent@{host}:{port}"
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection management ----------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        return sock
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def _call(self, request: dict) -> dict:
+        for attempt in (0, 1):
+            sock = self._connect()
+            try:
+                send_message(sock, request)
+                response = recv_message(sock)
+                break
+            except (ConnectionError, OSError):
+                self.close()
+                if attempt == 1:
+                    raise
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"agent {self.name} refused {request.get('op')!r}: "
+                f"{response.get('error', 'unknown error')}"
+            )
+        return response
+
+    # -- AgentHandle interface ---------------------------------------------------------
+
+    def ping(self) -> str:
+        return str(self._call({"op": "ping"})["agent"])
+
+    def element_ids(self) -> List[str]:
+        return [str(e) for e in self._call({"op": "list_elements"})["elements"]]
+
+    def stack_element_ids(self) -> List[str]:
+        return [str(e) for e in self._call({"op": "stack_elements"})["elements"]]
+
+    def query(
+        self,
+        element_ids: Optional[Iterable[str]] = None,
+        attrs: Optional[Iterable[str]] = None,
+    ) -> List[StatRecord]:
+        request = {
+            "op": "query",
+            "elements": list(element_ids) if element_ids is not None else None,
+            "attrs": list(attrs) if attrs is not None else None,
+        }
+        response = self._call(request)
+        records = response.get("records")
+        if not isinstance(records, list):
+            raise ProtocolError("query response missing records")
+        return [StatRecord.from_dict(r) for r in records]
+
+    def __enter__(self) -> "RemoteAgentHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

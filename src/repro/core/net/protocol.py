@@ -1,0 +1,64 @@
+"""Length-prefixed JSON framing for the agent-controller channel.
+
+Frame layout: 4-byte big-endian payload length, then UTF-8 JSON.  The
+payload is a dict; requests carry an ``op`` ("query", "list_elements",
+"stack_elements", "ping"), responses carry ``ok`` plus either results or
+``error``.  A maximum frame size guards both sides against a corrupt or
+hostile peer.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict
+
+#: Refuse frames above 16 MiB — a full-machine stat sweep is ~100 KiB.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Framing or schema violation on the agent-controller channel."""
+
+
+def send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Serialize and send one frame."""
+    try:
+        raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unserializable payload: {exc}") from exc
+    if len(raw) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame too large: {len(raw)} bytes")
+    sock.sendall(_HEADER.pack(len(raw)) + raw)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Receive one frame; raises ProtocolError on malformed input and
+    ConnectionError on a cleanly closed peer."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"peer announced oversized frame: {length} bytes")
+    raw = _recv_exact(sock, length)
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame is not an object: {type(payload).__name__}")
+    return payload
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

@@ -1,0 +1,92 @@
+"""TCP server exposing one agent to remote controllers."""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.core.agent import Agent
+from repro.core.net.protocol import ProtocolError, recv_message, send_message
+
+
+class _AgentRequestHandler(socketserver.BaseRequestHandler):
+    """Serves query/list requests on one connection until it closes."""
+
+    def handle(self) -> None:
+        agent: Agent = self.server.agent  # type: ignore[attr-defined]
+        lock: threading.Lock = self.server.agent_lock  # type: ignore[attr-defined]
+        while True:
+            try:
+                request = recv_message(self.request)
+            except ConnectionError:
+                return
+            except ProtocolError as exc:
+                send_message(self.request, {"ok": False, "error": str(exc)})
+                return
+            try:
+                response = self._dispatch(agent, lock, request)
+            except Exception as exc:  # surfaced to the client, not the server
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            send_message(self.request, response)
+
+    @staticmethod
+    def _dispatch(agent: Agent, lock: threading.Lock, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "agent": agent.name}
+        if op == "list_elements":
+            with lock:
+                return {"ok": True, "elements": agent.element_ids()}
+        if op == "stack_elements":
+            with lock:
+                ids = [e.name for e in agent.machine.stack_elements()]
+            return {"ok": True, "elements": ids}
+        if op == "query":
+            element_ids = request.get("elements")
+            attrs = request.get("attrs")
+            with lock:
+                records = agent.query(element_ids, attrs)
+            return {"ok": True, "records": [r.to_dict() for r in records]}
+        return {"ok": False, "error": f"unknown op: {op!r}"}
+
+
+class AgentServer:
+    """Runs an agent behind a localhost TCP endpoint in a daemon thread."""
+
+    def __init__(self, agent: Agent, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.agent = agent
+        self._server = socketserver.ThreadingTCPServer(
+            (host, port), _AgentRequestHandler, bind_and_activate=True
+        )
+        self._server.daemon_threads = True
+        self._server.agent = agent  # type: ignore[attr-defined]
+        self._server.agent_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    def start(self) -> "AgentServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, name=f"agent-server-{self.agent.name}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "AgentServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

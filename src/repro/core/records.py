@@ -1,0 +1,77 @@
+"""The unified statistics record format (Section 4.2).
+
+Agents return element statistics to the controller in one generic shape::
+
+    <TimeStamp, Element, (attr1, value1), (attr2, value2), ...>
+
+which abstracts over the heterogeneity of the underlying elements (kernel
+devices, vswitch rules, QEMU, middlebox software).  :class:`StatRecord` is
+that shape.  It serializes to/from plain JSON-compatible dicts so the same
+object crosses the in-process transport and the TCP wire protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class StatRecord:
+    """One element's counter snapshot at one timestamp.
+
+    ``element_id`` is the agent-local element identifier (e.g. ``eth0``,
+    ``tun-vm3``, ``qemu-vm3``); ``machine`` names the physical server whose
+    agent produced the record.  ``attrs`` maps counter names to cumulative
+    values, exactly as in the paper's example::
+
+        <t1, eth0, ("Rx bytes", v1), ("Tx bytes", v2), ...>
+    """
+
+    timestamp: float
+    element_id: str
+    attrs: Mapping[str, float]
+    machine: str = ""
+
+    def get(self, attr: str, default: float = 0.0) -> float:
+        return float(self.attrs.get(attr, default))
+
+    def __getitem__(self, attr: str) -> float:
+        return float(self.attrs[attr])
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self.attrs
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        return iter(self.attrs.items())
+
+    def subset(self, attrs) -> "StatRecord":
+        """A record restricted to the requested attributes.
+
+        Missing attributes are omitted (not defaulted), so callers can tell
+        "element does not export this counter" from "counter is zero".
+        """
+        picked = {a: float(self.attrs[a]) for a in attrs if a in self.attrs}
+        return StatRecord(self.timestamp, self.element_id, picked, self.machine)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "timestamp": self.timestamp,
+            "element": self.element_id,
+            "machine": self.machine,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "StatRecord":
+        try:
+            timestamp = float(payload["timestamp"])  # type: ignore[arg-type]
+            element_id = str(payload["element"])
+            attrs_raw = payload["attrs"]
+        except KeyError as exc:
+            raise ValueError(f"stat record missing field: {exc}") from exc
+        if not isinstance(attrs_raw, Mapping):
+            raise ValueError("stat record attrs must be a mapping")
+        attrs = {str(k): float(v) for k, v in attrs_raw.items()}
+        machine = str(payload.get("machine", ""))
+        return cls(timestamp, element_id, attrs, machine)

@@ -1,0 +1,143 @@
+"""The Table-1 rule book: drop location -> resource in shortage.
+
+Constructed exactly the way the paper describes (Section 5.1): run
+experiments that exhaust each resource, record where packets drop, and
+invert the mapping.  ``benchmarks/test_table1_rulebook.py`` re-runs that
+construction against this table.
+
+Two subtleties the paper calls out, preserved here:
+
+* CPU and memory-bandwidth contention share the "TUN (aggregated)"
+  symptom; the rule book returns both candidates plus the secondary
+  signals (CPU utilization, NIC throughput) an operator combines to
+  disambiguate.
+* The same TUN location means *contention* when many VMs lose packets
+  and a *VM bottleneck* when exactly one does — the spread test at the
+  end of Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+# Resource identifiers.
+CPU = "host-cpu"
+MEMORY_SPACE = "memory-space"
+MEMORY_BANDWIDTH = "memory-bandwidth"
+INCOMING_BANDWIDTH = "incoming-bandwidth"
+OUTGOING_BANDWIDTH = "outgoing-bandwidth"
+VM_BOTTLENECK = "vm-bottleneck"
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One diagnosis: the resource(s) a drop location implicates."""
+
+    location_class: str
+    resources: List[str]
+    scope: str  # "shared" (contention) or "individual" (bottleneck)
+    secondary_signals: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        kind = "contention" if self.scope == "shared" else "bottleneck"
+        res = " or ".join(self.resources)
+        return f"{kind}: {res} (symptom at {self.location_class})"
+
+
+def classify_location(location: str) -> str:
+    """Normalize a concrete drop location to its rule-book class."""
+    if location.startswith("tun-"):
+        return "tun"
+    if location.startswith("vcpu_backlog"):
+        return "vcpu_backlog"
+    if location == "pcpu_backlog":
+        return "pcpu_backlog"
+    if location == "pnic":
+        return "pnic"
+    if location == "pnic_txq":
+        return "pnic_txq"
+    if ".sockbuf" in location:
+        return "sockbuf"
+    return location
+
+
+class RuleBook:
+    """Maps (drop-location class, VM spread) to resource verdicts."""
+
+    def diagnose(
+        self, location: str, vms_affected: Optional[int] = None
+    ) -> Verdict:
+        """Verdict for drops at ``location``.
+
+        ``vms_affected`` — how many distinct VMs are losing packets at
+        this location class (the contention/bottleneck spread test);
+        ``None`` means unknown, treated as shared.
+        """
+        cls = classify_location(location)
+        shared = vms_affected is None or vms_affected > 1
+        if cls == "pnic":
+            return Verdict(cls, [INCOMING_BANDWIDTH], "shared")
+        if cls == "pnic_txq":
+            return Verdict(cls, [OUTGOING_BANDWIDTH], "shared")
+        if cls == "pcpu_backlog":
+            return Verdict(
+                cls,
+                [OUTGOING_BANDWIDTH, MEMORY_SPACE],
+                "shared",
+                secondary_signals=[
+                    "small average packet size at the enqueue implies a "
+                    "packet-rate (backlog slots) shortage, not byte bandwidth",
+                ],
+            )
+        if cls == "tun":
+            if shared:
+                return Verdict(
+                    cls,
+                    [CPU, MEMORY_BANDWIDTH],
+                    "shared",
+                    secondary_signals=[
+                        "high host CPU utilization implicates CPU",
+                        "high memory traffic with idle CPU implicates the memory bus",
+                    ],
+                )
+            return Verdict(cls, [VM_BOTTLENECK], "individual")
+        if cls in ("vcpu_backlog", "sockbuf"):
+            if shared:
+                # Guest-internal loss in *many* VMs at once means the
+                # guests themselves are starved of a shared host
+                # resource, same root causes as aggregated TUN loss.
+                return Verdict(
+                    cls,
+                    [CPU, MEMORY_BANDWIDTH],
+                    "shared",
+                    secondary_signals=[
+                        "co-occurring aggregated TUN drops corroborate host-level starvation",
+                    ],
+                )
+            return Verdict(cls, [VM_BOTTLENECK], "individual")
+        return Verdict(cls, [], "shared", ["unmapped location; extend the rule book"])
+
+    def diagnose_all(self, drops_by_location: Dict[str, float]) -> List[Verdict]:
+        """Verdicts for a machine-wide drop breakdown, worst class first.
+
+        Per-VM locations (``tun-<vm>``) are aggregated into their class
+        and the number of distinct VMs losing packets there becomes the
+        contention/bottleneck spread test.
+        """
+        by_class: Dict[str, float] = {}
+        vms_by_class: Dict[str, set] = {}
+        exemplar: Dict[str, str] = {}
+        for location, pkts in drops_by_location.items():
+            if pkts <= 0:
+                continue
+            cls = classify_location(location)
+            by_class[cls] = by_class.get(cls, 0.0) + pkts
+            exemplar.setdefault(cls, location)
+            if cls in ("tun", "vcpu_backlog", "sockbuf"):
+                vms_by_class.setdefault(cls, set()).add(location)
+        out: List[Verdict] = []
+        for cls, pkts in sorted(by_class.items(), key=lambda kv: -kv[1]):
+            spread = len(vms_by_class.get(cls, ())) or None
+            out.append(self.diagnose(exemplar[cls], spread))
+        return out

@@ -1,0 +1,29 @@
+"""The simulated virtualization stack (Figure 5 of the paper).
+
+This package models the exact element pipeline a packet traverses on an
+NFV host running Linux + Open vSwitch + QEMU/KVM:
+
+receive path (wire -> middlebox)::
+
+    pNIC (ring) -> pNIC driver -> pCPU backlog enqueue -> NAPI routine
+      -> virtual switch (function call) -> TUN socket queue
+      -> hypervisor I/O handler (QEMU) -> vNIC ring -> vNIC driver
+      -> vCPU backlog -> guest NAPI -> guest socket -> middlebox app
+
+transmit path (middlebox -> wire)::
+
+    app -> guest TX queue -> guest stack -> vNIC TX ring -> QEMU TX
+      -> pCPU backlog enqueue -> NAPI -> virtual switch
+      -> pNIC TX queue -> wire (fabric)
+
+Every buffer in the pipeline is a named drop location; the shared pCPU
+backlog is traversed by both directions of every VM on the machine, which
+is the contention point exercised by Figure 10.
+"""
+
+from repro.dataplane.fabric import Fabric
+from repro.dataplane.machine import PhysicalMachine
+from repro.dataplane.params import DataplaneParams
+from repro.dataplane.vm import VM
+
+__all__ = ["DataplaneParams", "Fabric", "PhysicalMachine", "VM"]

@@ -1,0 +1,135 @@
+"""Physical network fabric and external hosts.
+
+The fabric is the switch fabric of Figure 2(b): it carries frames between
+physical machines and to/from endpoints outside the modeled servers (the
+cloud gateway / Internet side).  It is deliberately simple — the paper's
+diagnosis scope is the *software* dataplane, so the fabric only needs to
+route machine egress to the right ingress and terminate flows at
+external hosts with correct TCP/UDP semantics.
+
+An :class:`ExternalHost` stands in for the cloud gateway, a traffic sink
+on another rack, or a client outside the NFV deployment: it can terminate
+TCP connections (its socket's free space drives the sender's window, so
+an external slow reader write-blocks a middlebox exactly like an internal
+one) and counts per-flow goodput for the experiment harnesses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.dataplane.machine import PhysicalMachine
+from repro.simnet.engine import Component, SimError, Simulator
+from repro.simnet.packet import Flow, PacketBatch
+from repro.transport.sockets import AppSocket
+
+Target = Callable[[PacketBatch], object]
+
+
+class Fabric(Component):
+    """Routes machine egress frames by flow id."""
+
+    def __init__(self, sim: Simulator, name: str = "fabric") -> None:
+        super().__init__(name)
+        self._routes: Dict[str, Target] = {}
+        self._machines: Dict[str, PhysicalMachine] = {}
+        self.unrouted_pkts = 0.0
+        self.unrouted_bytes = 0.0
+        sim.add(self)
+
+    def attach(self, machine: PhysicalMachine) -> None:
+        if machine.name in self._machines:
+            raise SimError(f"machine {machine.name!r} already attached")
+        self._machines[machine.name] = machine
+        machine.pnic_tx.out = self._forward
+
+    def route_flow(self, flow_id: str, target: Target) -> None:
+        if flow_id in self._routes:
+            raise SimError(f"flow {flow_id!r} already routed")
+        self._routes[flow_id] = target
+
+    def route_flow_to_machine(self, flow: Flow, machine: PhysicalMachine) -> None:
+        self.route_flow(flow.flow_id, machine.inject)
+
+    def route_flow_to_host(self, flow: Flow, host: "ExternalHost") -> None:
+        self.route_flow(flow.flow_id, host.deliver)
+
+    def _forward(self, batch: PacketBatch) -> None:
+        target = self._routes.get(batch.flow.flow_id)
+        if target is None:
+            # Frames leaving the modeled world (e.g. pure sinks) are
+            # counted, not errors: experiments often only measure egress.
+            self.unrouted_pkts += batch.pkts
+            self.unrouted_bytes += batch.nbytes
+            return
+        target(batch)
+
+
+class ExternalHost(Component):
+    """A TCP/UDP endpoint outside any modeled machine.
+
+    Its sockets drain at ``drain_bytes_per_s`` (infinite by default), so
+    it can model both an infinitely fast sink and a slow external reader.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        drain_bytes_per_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(name)
+        self.sim_ref = sim
+        self.drain_bytes_per_s = drain_bytes_per_s
+        self._sockets: Dict[str, AppSocket] = {}
+        self._udp_bindings: Dict[str, AppSocket] = {}
+        self.rx_bytes_by_flow: Dict[str, float] = {}
+        self.rx_pkts_by_flow: Dict[str, float] = {}
+        sim.add(self)
+
+    # -- endpoints ------------------------------------------------------------------
+
+    def new_socket(self, sock_name: str, capacity_bytes: float = 256e3) -> AppSocket:
+        if sock_name in self._sockets:
+            raise SimError(f"duplicate socket {sock_name!r} on host {self.name!r}")
+        sock = AppSocket(f"{sock_name}@{self.name}", capacity_bytes=capacity_bytes)
+        self._sockets[sock_name] = sock
+        return sock
+
+    def bind_udp(self, flow: Flow, socket: AppSocket) -> None:
+        self._udp_bindings[flow.flow_id] = socket
+
+    # -- delivery ---------------------------------------------------------------------
+
+    def deliver(self, batch: PacketBatch) -> None:
+        fid = batch.flow.flow_id
+        self.rx_bytes_by_flow[fid] = self.rx_bytes_by_flow.get(fid, 0.0) + batch.nbytes
+        self.rx_pkts_by_flow[fid] = self.rx_pkts_by_flow.get(fid, 0.0) + batch.pkts
+        if batch.flow.kind == "tcp" and batch.flow.conn_id:
+            registry = getattr(self.sim_ref, "transport_registry", None)
+            if registry is not None and registry.deliver(batch):
+                return
+        socket = self._udp_bindings.get(fid)
+        if socket is not None:
+            socket.deliver(batch)
+        # Unbound flows terminate here; counting above is the sink.
+
+    def rx_bytes(self, flow_id: str) -> float:
+        return self.rx_bytes_by_flow.get(flow_id, 0.0)
+
+    # -- per-tick -----------------------------------------------------------------------
+
+    def process_tick(self, sim: Simulator) -> None:
+        if self.drain_bytes_per_s is None:
+            budget = float("inf")
+        else:
+            budget = self.drain_bytes_per_s * sim.tick
+        for sock in self._sockets.values():
+            if budget <= 0:
+                break
+            read = sock.read(budget)
+            budget -= sum(b.nbytes for b in read)
+
+    def end_tick(self, sim: Simulator) -> None:
+        for sock in self._sockets.values():
+            sock.commit()

@@ -1,0 +1,155 @@
+"""Guest-side dataplane elements (inside one middlebox/tenant VM).
+
+Mirrors the host stack at guest scale: the vNIC driver moves frames from
+the vNIC RX ring into the vCPU backlog, the guest NAPI routine moves them
+from the backlog into the destination socket (the "another buffer in the
+kernel" of Section 6), and the guest TX element moves app writes from the
+socket send queue into the vNIC TX ring.  All three charge the VM's vCPU
+sub-resource, so an in-VM CPU hog starves them, the vNIC ring backs up,
+QEMU stalls, and the VM's TUN starts dropping — the individual-VM
+bottleneck signature of Table 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.dataplane.params import DataplaneParams
+from repro.dataplane.queue_element import QueueElement
+from repro.simnet.buffers import Buffer
+from repro.simnet.element import Element, KIND_GUEST
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import PacketBatch
+from repro.simnet.resources import Resource
+
+
+class VcpuBacklog(QueueElement):
+    """The guest's per-vCPU backlog; drop location ``vcpu_backlog-<vm>``."""
+
+    def __init__(
+        self, sim: Simulator, machine: str, vm_id: str, params: DataplaneParams
+    ) -> None:
+        super().__init__(
+            sim,
+            f"vcpu-backlog-{vm_id}@{machine}",
+            machine=machine,
+            vm_id=vm_id,
+            kind=KIND_GUEST,
+            capacity_pkts=params.backlog_pkts_per_queue,
+            location=f"vcpu_backlog-{vm_id}",
+        )
+
+
+class GuestDriver(Element):
+    """vNIC driver: vNIC RX ring -> vCPU backlog."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: str,
+        vm_id: str,
+        params: DataplaneParams,
+        vnic_rx_ring: Buffer,
+        vcpu: Resource,
+        membus: Resource,
+        backlog: VcpuBacklog,
+    ) -> None:
+        super().__init__(
+            sim,
+            f"gdriver-{vm_id}@{machine}",
+            machine=machine,
+            vm_id=vm_id,
+            kind=KIND_GUEST,
+        )
+        self.attach_input(vnic_rx_ring, owned=True)
+        self.claim(
+            vcpu,
+            per_pkt=params.cpu_per_pkt_guest_driver,
+            per_byte=params.cpu_per_byte_guest,
+            is_cpu=True,
+        )
+        self.claim(membus, per_byte=params.mem_per_byte_guest_driver)
+        self.out = backlog.push
+
+
+class GuestNapi(Element):
+    """Guest NAPI + protocol stack: vCPU backlog -> destination socket.
+
+    The terminal delivery callable (``deliver``) resolves the batch's flow
+    to a TCP connection or a bound UDP socket; unresolvable traffic is
+    dropped here at location ``gstack-<vm>.no_sock``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: str,
+        vm_id: str,
+        params: DataplaneParams,
+        backlog: VcpuBacklog,
+        vcpu: Resource,
+        membus: Resource,
+        deliver: Callable[[PacketBatch], bool],
+    ) -> None:
+        super().__init__(
+            sim,
+            f"gstack-{vm_id}@{machine}",
+            machine=machine,
+            vm_id=vm_id,
+            kind=KIND_GUEST,
+        )
+        self.attach_input(backlog.queue, owned=False)
+        self.claim(
+            vcpu,
+            per_pkt=params.cpu_per_pkt_guest_napi,
+            per_byte=params.cpu_per_byte_guest,
+            is_cpu=True,
+        )
+        self.claim(membus, per_byte=params.mem_per_byte_guest_napi)
+        self._deliver = deliver
+        self.out = self._route_to_socket
+
+    def _route_to_socket(self, batch: PacketBatch) -> None:
+        if not self._deliver(batch):
+            self.counters.count_drop(
+                f"{self.name}.no_sock", batch.pkts, batch.nbytes, batch.flow.flow_id
+            )
+
+
+class GuestTx(Element):
+    """Guest transmit path: socket send queue -> vNIC TX ring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: str,
+        vm_id: str,
+        params: DataplaneParams,
+        txq: Buffer,
+        vnic_tx_ring: Buffer,
+        vcpu: Resource,
+        membus: Resource,
+    ) -> None:
+        super().__init__(
+            sim,
+            f"gtx-{vm_id}@{machine}",
+            machine=machine,
+            vm_id=vm_id,
+            kind=KIND_GUEST,
+        )
+        self.attach_input(txq, owned=True)
+        self.claim(
+            vcpu,
+            per_pkt=params.cpu_per_pkt_guest_tx,
+            per_byte=params.cpu_per_byte_guest,
+            is_cpu=True,
+        )
+        self.claim(membus, per_byte=params.mem_per_byte_guest_tx)
+        self.vnic_tx_ring = vnic_tx_ring
+        self.out = vnic_tx_ring
+
+    def extra_budgets(self, sim: Simulator) -> List[List[float]]:
+        return [
+            [1.0, 0.0, self.vnic_tx_ring.space_pkts()],
+            [0.0, 1.0, self.vnic_tx_ring.space_bytes()],
+        ]

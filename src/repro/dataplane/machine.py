@@ -1,0 +1,155 @@
+"""Physical machine assembly: the full Figure-5 pipeline.
+
+``PhysicalMachine`` wires the host-side elements (pNIC ring, driver,
+shared pCPU backlog, NAPI, virtual switch, pNIC TX) around the two host
+resources (a CPU pool with a strict softirq tier over demand-
+proportional user scheduling; a demand-proportional memory bus) and
+hosts VMs added with :meth:`add_vm`.  Traffic enters from the wire via
+:meth:`inject` (or a :class:`~repro.dataplane.fabric.Fabric`) and from
+apps via each VM's TX queue; the virtual switch forwards by per-VM rules
+with a default route to the pNIC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dataplane.backlog import BacklogQueue, Napi
+from repro.dataplane.params import DataplaneParams
+from repro.dataplane.pnic import PNicDriver, PNicRx, PNicTx
+from repro.dataplane.vm import VM
+from repro.dataplane.vswitch import VirtualSwitch
+from repro.simnet.element import Element
+from repro.simnet.engine import SimError, Simulator
+from repro.simnet.packet import PacketBatch
+from repro.simnet.resources import Resource
+
+
+class PhysicalMachine:
+    """One NFV host: resources + virtualization stack + VMs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        params: Optional[DataplaneParams] = None,
+        backlog_queues: int = 8,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.params = params if params is not None else DataplaneParams()
+
+        # Proportional within a tier models threads crowding a fair
+        # scheduler (demand ~ thread count); softirq work preempts user
+        # processes via the priority tiers (see simnet.resources).
+        self.cpu = Resource(
+            sim,
+            f"cpu@{name}",
+            capacity_per_s=float(self.params.cores),
+            policy="proportional",
+        )
+        self.membus = Resource(
+            sim,
+            f"membus@{name}",
+            capacity_per_s=self.params.mem_bw_bytes_per_s,
+            policy="proportional",
+            phase=1,  # allocated after CPU so demand reflects CPU grants
+        )
+
+        self.pnic_rx = PNicRx(sim, name, self.params)
+        self.backlog = BacklogQueue(sim, name, self.params, n_queues=backlog_queues)
+        self.vswitch = VirtualSwitch(sim, f"vswitch@{name}", machine=name)
+        self.pnic_tx = PNicTx(sim, name, self.params, self.membus)
+        self.driver = PNicDriver(
+            sim, name, self.params, self.pnic_rx, self.cpu,
+            backlog_push=self.backlog.push,
+        )
+        self.napi = Napi(
+            sim, name, self.params, self.backlog, self.cpu,
+            vswitch_submit=self.vswitch.submit,
+        )
+
+        self.vswitch.add_port("pnic", self.pnic_tx.push)
+        # Anything not addressed to a local VM leaves through the pNIC.
+        self.vswitch.add_rule("default-out", "pnic", priority=-100)
+
+        self.vms: Dict[str, VM] = {}
+
+    # -- construction ---------------------------------------------------------------
+
+    def add_vm(
+        self,
+        vm_id: str,
+        vcpu_cores: float = 1.0,
+        vnic_bps: Optional[float] = None,
+        tenant_id: str = "",
+    ) -> VM:
+        """Provision a VM and plumb its TUN into the virtual switch."""
+        if vm_id in self.vms:
+            raise SimError(f"duplicate VM id {vm_id!r} on machine {self.name!r}")
+        vm = VM(
+            self.sim,
+            self.name,
+            vm_id,
+            self.params,
+            host_cpu=self.cpu,
+            membus=self.membus,
+            backlog_push=self.backlog.push,
+            vcpu_cores=vcpu_cores,
+            vnic_bps=vnic_bps,
+            tenant_id=tenant_id,
+        )
+        self.vswitch.add_port(f"tun:{vm_id}", vm.tun.push)
+        self.vswitch.add_rule(f"to-{vm_id}", f"tun:{vm_id}", dst_vm=vm_id)
+        self.vms[vm_id] = vm
+        return vm
+
+    def remove_vm(self, vm_id: str) -> None:
+        """Detach a VM's switch rule (migration away; elements stay idle)."""
+        if vm_id not in self.vms:
+            raise SimError(f"no VM {vm_id!r} on machine {self.name!r}")
+        self.vswitch.remove_rule(f"to-{vm_id}")
+        del self.vms[vm_id]
+
+    # -- wire side -----------------------------------------------------------------------
+
+    def inject(self, batch: PacketBatch) -> PacketBatch:
+        """Frames arriving from the physical network."""
+        return self.pnic_rx.push(batch)
+
+    # -- introspection -------------------------------------------------------------------
+
+    def stack_elements(self) -> List[Element]:
+        """Virtualization-stack elements — Algorithm 1's search scope.
+
+        Per Section 2.1, the virtualization stack is shared by all VMs:
+        pNIC (+driver), backlog+NAPI, vswitch, TUNs and the hypervisor
+        I/O handlers.  Guest-internal elements belong to the middlebox
+        side of the split.
+        """
+        elems: List[Element] = [
+            self.pnic_rx,
+            self.driver,
+            self.backlog,
+            self.napi,
+            self.vswitch,
+            self.pnic_tx,
+        ]
+        for vm in self.vms.values():
+            elems.extend([vm.tun, vm.qemu_rx, vm.qemu_tx])
+        return elems
+
+    def all_elements(self) -> List[Element]:
+        elems = self.stack_elements()
+        for vm in self.vms.values():
+            elems.extend([vm.gdriver, vm.vcpu_backlog, vm.gstack, vm.gtx])
+        return elems
+
+    def vm(self, vm_id: str) -> VM:
+        try:
+            return self.vms[vm_id]
+        except KeyError:
+            raise SimError(f"no VM {vm_id!r} on machine {self.name!r}") from None
+
+    def __repr__(self) -> str:
+        return f"<PhysicalMachine {self.name!r} vms={sorted(self.vms)}>"

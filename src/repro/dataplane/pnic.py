@@ -1,0 +1,85 @@
+"""Physical NIC elements.
+
+The RX side is a passive ring: the wire (fabric or a traffic source)
+pushes frames in at most line rate — overflow beyond the line-rate budget
+or the ring capacity drops *at the pNIC*, which is the Table-1 symptom of
+incoming-bandwidth shortage.  The pNIC driver element drains the ring
+(charging host CPU for interrupt/NAPI-poll work and the memory bus for
+the DMA'd bytes) and enqueues frames into the pCPU backlog.
+
+The TX side is a draining queue capped at line rate; its output goes to
+the fabric (or terminates at the machine boundary when no fabric is
+attached).
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.params import DataplaneParams
+from repro.dataplane.queue_element import QueueElement
+from repro.simnet.element import Element, KIND_NETDEV
+from repro.simnet.engine import Simulator
+from repro.simnet.resources import Resource
+
+
+class PNicRx(QueueElement):
+    """The pNIC receive ring; drop location ``pnic``."""
+
+    def __init__(
+        self, sim: Simulator, machine: str, params: DataplaneParams
+    ) -> None:
+        super().__init__(
+            sim,
+            f"pnic@{machine}",
+            machine=machine,
+            kind=KIND_NETDEV,
+            capacity_pkts=params.pnic_ring_pkts,
+            location="pnic",
+            ingest_bps=params.nic_bps,
+        )
+
+
+class PNicDriver(Element):
+    """Interrupt handler / driver poll loop: ring -> pCPU backlog."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: str,
+        params: DataplaneParams,
+        ring: PNicRx,
+        cpu: Resource,
+        backlog_push,
+    ) -> None:
+        super().__init__(sim, f"pnic-driver@{machine}", machine=machine, kind=KIND_NETDEV)
+        self.attach_input(ring.queue, owned=False)
+        self.claim(
+            cpu,
+            per_pkt=params.cpu_per_pkt_driver,
+            per_byte=params.cpu_per_byte_host,
+            is_cpu=True,
+            priority=1,  # softirq context preempts user processes
+        )
+        self.out = backlog_push
+
+
+class PNicTx(QueueElement):
+    """The pNIC transmit queue + line-rate drain; drop location ``pnic_txq``."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: str,
+        params: DataplaneParams,
+        membus: Resource,
+    ) -> None:
+        super().__init__(
+            sim,
+            f"pnic-tx@{machine}",
+            machine=machine,
+            kind=KIND_NETDEV,
+            capacity_pkts=params.pnic_txq_pkts,
+            location="pnic_txq",
+            drain=True,
+            rate_bps=params.nic_bps,
+        )
+        self.claim(membus, per_byte=params.mem_per_byte_pnic_tx)

@@ -1,0 +1,39 @@
+"""TUN/TAP device per VM.
+
+The TUN socket queue is "the last buffer before entering VMs"
+(Section 7.1): the virtual switch writes frames into it, and the
+hypervisor I/O handler reads them out.  When the handler is starved — of
+host CPU, of memory bandwidth, or because the guest is not draining the
+vNIC ring — this queue overflows, which is why *TUN drops* are the
+symptom for CPU contention, memory-bandwidth contention (aggregated
+across VMs) and single-VM bottlenecks (individual) in Table 1.
+
+Drop location: ``tun-<vm>`` — per-VM by construction, so the
+contention-vs-bottleneck spread test of Section 5.1 falls out of the
+location names.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.params import DataplaneParams
+from repro.dataplane.queue_element import QueueElement
+from repro.simnet.element import KIND_NETDEV
+from repro.simnet.engine import Simulator
+
+
+class TunQueue(QueueElement):
+    """One VM's TUN socket queue; drop location ``tun-<vm>``."""
+
+    def __init__(
+        self, sim: Simulator, machine: str, vm_id: str, params: DataplaneParams
+    ) -> None:
+        super().__init__(
+            sim,
+            f"tun-{vm_id}@{machine}",
+            machine=machine,
+            vm_id=vm_id,
+            kind=KIND_NETDEV,
+            capacity_pkts=params.tun_queue_pkts,
+            capacity_bytes=params.tun_queue_bytes,
+            location=f"tun-{vm_id}",
+        )

@@ -1,0 +1,54 @@
+"""Middlebox software running inside VMs.
+
+Every app follows the paper's Section-5.2 model of middlebox software:
+a loop of *input* (read from the guest kernel), *process*, and *output*
+(write to the guest kernel), with
+
+    t_total = t_input + t_process + t_output
+    t_input/output = t_block + t_memcpy
+
+PerfSight instruments the read/write calls, so each app maintains
+``inBytes/inTime/outBytes/outTime`` counters (and pays the measured
+counter-update CPU cost for them, which Table 2 and Figures 15-16
+quantify).
+
+The concrete boxes mirror the paper's evaluation workloads: a TCP load
+balancer (Balance), content-filter proxies (CherryProxy) with an NFS log
+side-channel, an HTTP client/server pair, an NFS server with an
+injectable memory-leak bug, plus the overhead-benchmark boxes of
+Figure 15 (proxy, LB, cache, redundancy eliminator, IPS) and the
+busy-waiting transcoder of Section 2.3.
+"""
+
+from repro.middleboxes.base import App, OutputPort, RelayApp, SinkApp, SourceApp
+from repro.middleboxes.cache import CacheProxy
+from repro.middleboxes.content_filter import ContentFilter
+from repro.middleboxes.firewall import Firewall
+from repro.middleboxes.http import HttpClient, HttpServer
+from repro.middleboxes.ids import IntrusionPreventionSystem
+from repro.middleboxes.load_balancer import LoadBalancer
+from repro.middleboxes.nat import Nat
+from repro.middleboxes.nfs import NfsServer
+from repro.middleboxes.proxy import Proxy
+from repro.middleboxes.redundancy import RedundancyEliminator
+from repro.middleboxes.transcoder import Transcoder
+
+__all__ = [
+    "App",
+    "CacheProxy",
+    "ContentFilter",
+    "Firewall",
+    "HttpClient",
+    "HttpServer",
+    "IntrusionPreventionSystem",
+    "LoadBalancer",
+    "Nat",
+    "NfsServer",
+    "OutputPort",
+    "Proxy",
+    "RedundancyEliminator",
+    "RelayApp",
+    "SinkApp",
+    "SourceApp",
+    "Transcoder",
+]

@@ -1,0 +1,38 @@
+"""Caching proxy (Figure 15's "Cache").
+
+A fraction of requests hit the cache and are answered locally, so only
+the miss share is forwarded downstream — output bytes = (1 - hit_ratio)
+per input byte.  Hits cost less CPU than misses.
+"""
+
+from __future__ import annotations
+
+from repro.middleboxes.base import OutputPort, RelayApp
+
+CACHE_CPU_PER_BYTE_MISS = 14e-9
+CACHE_CPU_PER_BYTE_HIT = 6e-9
+
+
+class CacheProxy(RelayApp):
+    """Proxy with a hit-ratio model."""
+
+    def __init__(self, sim, vm, name, hit_ratio: float = 0.3, **kw):
+        if not 0.0 <= hit_ratio < 1.0:
+            raise ValueError(f"hit_ratio must be in [0,1): {hit_ratio!r}")
+        blended = hit_ratio * CACHE_CPU_PER_BYTE_HIT + (1 - hit_ratio) * CACHE_CPU_PER_BYTE_MISS
+        kw.setdefault("cpu_per_byte", blended)
+        kw.setdefault("io_unit_bytes", 1500.0)
+        kw.setdefault("mb_type", "cache")
+        super().__init__(sim, vm, name, **kw)
+        self.hit_ratio = hit_ratio
+        self.hit_bytes = 0.0
+
+    def add_miss_path(self, stream, **kw) -> OutputPort:
+        """Attach the origin-facing connection (carries misses only)."""
+        return self.add_output(
+            OutputPort(stream, ratio=1.0 - self.hit_ratio, name="miss", **kw)
+        )
+
+    def _write_outputs(self, read_bytes: float, planned: float, takes) -> float:
+        self.hit_bytes += read_bytes * self.hit_ratio
+        return super()._write_outputs(read_bytes, planned, takes)

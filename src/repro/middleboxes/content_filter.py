@@ -1,0 +1,43 @@
+"""Content-filter proxy (stand-in for CherryProxy).
+
+Inspects HTTP payloads, forwards them on, and writes an access log for
+every request.  In the Figure-12 topology both content filters log to a
+shared NFS server over a side TCP connection — the coupling through
+which an NFS bug write-blocks the filters and propagates upstream.
+
+``coupling = "duplicate"``: a processed byte must be written to *all*
+outputs (forward at ratio 1.0, log at ``log_ratio``), so a full log
+window stalls forwarding exactly like a synchronous ``fprintf`` to a
+hung NFS mount.
+"""
+
+from __future__ import annotations
+
+from repro.middleboxes.base import OutputPort, RelayApp
+
+CF_CPU_PER_BYTE = 20e-9
+#: Log bytes written per payload byte (~compact access-log records).
+DEFAULT_LOG_RATIO = 0.1
+
+
+class ContentFilter(RelayApp):
+    """Filtering proxy with a synchronous log side-channel."""
+
+    coupling = "duplicate"
+
+    def __init__(self, sim, vm, name, log_ratio: float = DEFAULT_LOG_RATIO, **kw):
+        kw.setdefault("cpu_per_byte", CF_CPU_PER_BYTE)
+        kw.setdefault("io_unit_bytes", 1500.0)
+        kw.setdefault("mb_type", "content_filter")
+        super().__init__(sim, vm, name, **kw)
+        self.log_ratio = log_ratio
+
+    def add_forward(self, stream, **kw) -> OutputPort:
+        """Attach the main forwarding connection (ratio 1)."""
+        return self.add_output(OutputPort(stream, ratio=1.0, name="forward", **kw))
+
+    def add_log(self, stream, **kw) -> OutputPort:
+        """Attach the access-log connection (ratio = log_ratio)."""
+        return self.add_output(
+            OutputPort(stream, ratio=self.log_ratio, name="log", **kw)
+        )

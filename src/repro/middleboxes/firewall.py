@@ -1,0 +1,54 @@
+"""Stateless firewall middlebox.
+
+Applies an ordered allow/deny rule list per logical flow.  Denied
+traffic is counted as drops at the app (a *deliberate* drop location —
+diagnosis must not confuse policy drops with performance loss, so the
+location is ``<name>.policy``, distinct from every buffer-overflow
+location the rule book matches).  Cost is per-packet dominated, like
+real header-matching firewalls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.middleboxes.base import RelayApp
+from repro.simnet.engine import Simulator
+
+FW_CPU_PER_PKT = 2.0e-6
+
+
+class Firewall(RelayApp):
+    """Allow/deny filter in front of its outputs.
+
+    ``deny_fraction`` models the share of traffic matching deny rules
+    (the simulator moves byte streams, so policy is expressed as the
+    fraction filtered rather than per-5-tuple matching; explicit flow
+    verdicts can be set with :meth:`set_verdict` for packet flows).
+    """
+
+    def __init__(self, sim, vm, name, deny_fraction: float = 0.0, **kw):
+        if not 0.0 <= deny_fraction <= 1.0:
+            raise ValueError(f"deny_fraction must be in [0,1]: {deny_fraction!r}")
+        kw.setdefault("cpu_per_pkt", FW_CPU_PER_PKT)
+        kw.setdefault("io_unit_bytes", 1500.0)
+        kw.setdefault("mb_type", "firewall")
+        super().__init__(sim, vm, name, **kw)
+        self.deny_fraction = deny_fraction
+        self._verdicts: Dict[str, bool] = {}
+        self.denied_bytes = 0.0
+
+    def set_verdict(self, flow_id: str, allow: bool) -> None:
+        self._verdicts[flow_id] = allow
+
+    def verdict(self, flow_id: str) -> bool:
+        return self._verdicts.get(flow_id, True)
+
+    def _write_outputs(self, read_bytes: float, planned: float, takes) -> float:
+        denied = read_bytes * self.deny_fraction
+        if denied > 0:
+            self.denied_bytes += denied
+            self.counters.count_drop(
+                f"{self.name}.policy", self._io_calls(denied), denied
+            )
+        return super()._write_outputs(read_bytes - denied, planned, takes)

@@ -1,0 +1,43 @@
+"""HTTP client and server endpoints.
+
+The Figure-12 chains are driven by an HTTP client POSTing through the
+load balancer and content filters to HTTP servers.  The client is a
+:class:`SourceApp` (``rate_bps=None`` = POST as fast as the window
+allows; a finite rate models the "slow rate" Underloaded client of
+Figure 12(c)).  The server is a :class:`SinkApp` whose processing rate
+caps how fast it absorbs request bodies — lowering its vCPU or raising
+``cpu_per_byte`` creates the Overloaded server of Figure 12(b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.middleboxes.base import SinkApp, SourceApp
+
+CLIENT_CPU_PER_BYTE = 4e-9
+SERVER_CPU_PER_BYTE = 22e-9
+
+
+class HttpClient(SourceApp):
+    """POSTs request bodies into its output connection(s)."""
+
+    def __init__(self, sim, vm, name, rate_bps: Optional[float] = None, **kw):
+        kw.setdefault("cpu_per_byte", CLIENT_CPU_PER_BYTE)
+        kw.setdefault("io_unit_bytes", 1500.0)
+        kw.setdefault("mb_type", "client")
+        super().__init__(sim, vm, name, rate_bps=rate_bps, **kw)
+
+    def set_rate(self, rate_bps: Optional[float]) -> None:
+        """Change the offered load (None = as fast as possible)."""
+        self.rate_bps = rate_bps
+
+
+class HttpServer(SinkApp):
+    """Consumes request bodies at its processing rate."""
+
+    def __init__(self, sim, vm, name, **kw):
+        kw.setdefault("cpu_per_byte", SERVER_CPU_PER_BYTE)
+        kw.setdefault("io_unit_bytes", 1500.0)
+        kw.setdefault("mb_type", "server")
+        super().__init__(sim, vm, name, **kw)

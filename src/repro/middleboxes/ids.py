@@ -1,0 +1,38 @@
+"""Intrusion prevention system (Snort stand-in; Figure 15's "IPS").
+
+Deep-packet inspection makes this the most CPU-hungry box per byte in
+the overhead benchmark, which is why its time-counter overhead is the
+largest (still < 5%) in Figure 15: the counter tax competes with real
+per-packet work on a saturated core.
+"""
+
+from __future__ import annotations
+
+from repro.middleboxes.base import RelayApp
+
+IPS_CPU_PER_BYTE = 35e-9
+IPS_CPU_PER_PKT = 1.0e-6
+
+
+class IntrusionPreventionSystem(RelayApp):
+    """Inline DPI with a drop verdict fraction."""
+
+    def __init__(self, sim, vm, name, alert_fraction: float = 0.0, **kw):
+        if not 0.0 <= alert_fraction <= 1.0:
+            raise ValueError(f"alert_fraction must be in [0,1]: {alert_fraction!r}")
+        kw.setdefault("cpu_per_byte", IPS_CPU_PER_BYTE)
+        kw.setdefault("cpu_per_pkt", IPS_CPU_PER_PKT)
+        kw.setdefault("io_unit_bytes", 1500.0)
+        kw.setdefault("mb_type", "ips")
+        super().__init__(sim, vm, name, **kw)
+        self.alert_fraction = alert_fraction
+        self.alerted_bytes = 0.0
+
+    def _write_outputs(self, read_bytes: float, planned: float, takes) -> float:
+        blocked = read_bytes * self.alert_fraction
+        if blocked > 0:
+            self.alerted_bytes += blocked
+            self.counters.count_drop(
+                f"{self.name}.alert", self._io_calls(blocked), blocked
+            )
+        return super()._write_outputs(read_bytes - blocked, planned, takes)

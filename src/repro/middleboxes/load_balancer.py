@@ -1,0 +1,24 @@
+"""TCP load balancer (stand-in for Balance, the paper's LB).
+
+Splits incoming connections' traffic across backend output ports by
+weight.  Connection affinity means a blocked backend stalls only its own
+share of the input (``coupling = "split"``, the default).  The default
+cost gives one core about 450 Mbps, slightly heavier than the plain proxy
+(connection tracking, header rewriting).
+"""
+
+from __future__ import annotations
+
+from repro.middleboxes.base import RelayApp
+
+LB_CPU_PER_BYTE = 17.8e-9
+
+
+class LoadBalancer(RelayApp):
+    """Weighted round-robin TCP load balancer."""
+
+    def __init__(self, sim, vm, name, **kw) -> None:
+        kw.setdefault("cpu_per_byte", LB_CPU_PER_BYTE)
+        kw.setdefault("io_unit_bytes", 1500.0)
+        kw.setdefault("mb_type", "load_balancer")
+        super().__init__(sim, vm, name, **kw)

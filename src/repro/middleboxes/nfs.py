@@ -1,0 +1,67 @@
+"""NFS server with an injectable memory-leak bug.
+
+The Figure-12(d) experiment injects "an internal error (memory leak)"
+(CentOS bug 7267) into the NFS server, making it Overloaded: it consumes
+log writes slower and slower, its clients' windows close, and the
+content filters — then the load balancer — become WriteBlocked even
+though none of them is at fault.
+
+The leak model: leaked memory grows at ``leak_bytes_per_s``; as the
+resident set approaches ``mem_limit_bytes`` the server's effective
+processing rate degrades (reclaim/swap pressure), asymptotically
+approaching ``floor_fraction`` of nominal.  Calling :meth:`inject_leak`
+starts the clock; :meth:`restart` clears it (the tenant's fix: reload
+the VM, Section 2.2).
+"""
+
+from __future__ import annotations
+
+from repro.middleboxes.base import SinkApp
+from repro.simnet.engine import Simulator
+
+NFS_CPU_PER_BYTE = 25e-9
+
+
+class NfsServer(SinkApp):
+    """A log-sink NFS server whose bug degrades its service rate."""
+
+    def __init__(
+        self,
+        sim,
+        vm,
+        name,
+        mem_limit_bytes: float = 512e6,
+        floor_fraction: float = 0.02,
+        **kw,
+    ) -> None:
+        kw.setdefault("cpu_per_byte", NFS_CPU_PER_BYTE)
+        kw.setdefault("io_unit_bytes", 8192.0)  # NFS-sized write RPCs
+        kw.setdefault("mb_type", "nfs")
+        super().__init__(sim, vm, name, **kw)
+        self.mem_limit_bytes = mem_limit_bytes
+        self.floor_fraction = floor_fraction
+        self.leak_bytes_per_s = 0.0
+        self.leaked_bytes = 0.0
+
+    def inject_leak(self, leak_bytes_per_s: float) -> None:
+        """Start leaking (the CentOS-7267-style bug)."""
+        if leak_bytes_per_s < 0:
+            raise ValueError(f"leak rate must be >= 0: {leak_bytes_per_s!r}")
+        self.leak_bytes_per_s = leak_bytes_per_s
+
+    def restart(self) -> None:
+        """Reload the service: leak stops, memory reclaimed, full speed."""
+        self.leak_bytes_per_s = 0.0
+        self.leaked_bytes = 0.0
+        self.slowdown = 1.0
+
+    def begin_tick(self, sim: Simulator) -> None:
+        if self.leak_bytes_per_s > 0:
+            self.leaked_bytes += self.leak_bytes_per_s * sim.tick
+        if self.leak_bytes_per_s > 0 or self.leaked_bytes > 0:
+            pressure = min(1.0, self.leaked_bytes / self.mem_limit_bytes)
+            # Service rate decays toward the floor as pressure mounts.
+            effective = max(self.floor_fraction, 1.0 - pressure)
+            self.slowdown = 1.0 / effective
+        # else: leave slowdown alone (perf-bug injection may have set it).
+        super().begin_tick(sim)

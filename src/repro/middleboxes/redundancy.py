@@ -1,0 +1,36 @@
+"""Redundancy eliminator (SmartRE stand-in; Figure 15's "RE").
+
+Fingerprints payloads and strips previously-seen chunks, so downstream
+output is ``1 - redundancy`` bytes per input byte, at a high per-byte
+CPU cost (Rabin fingerprinting + chunk store lookups).
+"""
+
+from __future__ import annotations
+
+from repro.middleboxes.base import OutputPort, RelayApp
+
+RE_CPU_PER_BYTE = 30e-9
+
+
+class RedundancyEliminator(RelayApp):
+    """Compressing relay with a fixed measured redundancy ratio."""
+
+    def __init__(self, sim, vm, name, redundancy: float = 0.4, **kw):
+        if not 0.0 <= redundancy < 1.0:
+            raise ValueError(f"redundancy must be in [0,1): {redundancy!r}")
+        kw.setdefault("cpu_per_byte", RE_CPU_PER_BYTE)
+        kw.setdefault("io_unit_bytes", 1500.0)
+        kw.setdefault("mb_type", "re")
+        super().__init__(sim, vm, name, **kw)
+        self.redundancy = redundancy
+        self.eliminated_bytes = 0.0
+
+    def add_encoded_path(self, stream, **kw) -> OutputPort:
+        """Attach the downstream connection (carries the encoded stream)."""
+        return self.add_output(
+            OutputPort(stream, ratio=1.0 - self.redundancy, name="encoded", **kw)
+        )
+
+    def _write_outputs(self, read_bytes: float, planned: float, takes) -> float:
+        self.eliminated_bytes += read_bytes * self.redundancy
+        return super()._write_outputs(read_bytes, planned, takes)

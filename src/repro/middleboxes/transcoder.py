@@ -1,0 +1,48 @@
+"""Video stream transcoder: the busy-waiting motivating example.
+
+Section 2.3: "a video stream transcoder may employ non-blocking I/O
+instead of blocking I/O to avoid context switching.  For this middlebox,
+CPU utilization is always 100%, but we lack a way of distinguishing the
+portion of CPU cycles spent on processing vs. busy waiting."
+
+The transcoder therefore *always* demands its full vCPU (spin-polling
+when idle), so utilization-based monitoring cannot tell whether it is a
+bottleneck — while PerfSight's I/O-time counters still expose its real
+Read/WriteBlocked state, because busy-wait polling time is input wait
+time from the instrumentation's perspective.
+"""
+
+from __future__ import annotations
+
+from repro.middleboxes.base import RelayApp
+from repro.simnet.engine import Simulator
+
+TRANSCODER_CPU_PER_BYTE = 40e-9
+
+
+class Transcoder(RelayApp):
+    """Non-blocking transcoder: demands full CPU regardless of load."""
+
+    def __init__(self, sim, vm, name, output_ratio: float = 0.6, **kw):
+        if output_ratio <= 0:
+            raise ValueError(f"output_ratio must be positive: {output_ratio!r}")
+        kw.setdefault("cpu_per_byte", TRANSCODER_CPU_PER_BYTE)
+        kw.setdefault("io_unit_bytes", 1500.0)
+        kw.setdefault("mb_type", "transcoder")
+        super().__init__(sim, vm, name, **kw)
+        self.output_ratio = output_ratio
+        self.busy_wait_s = 0.0
+
+    def _cpu_demand(self, sim: Simulator) -> float:
+        # Spin-poll: a full vCPU every tick, busy or not.
+        return self.vm.vcpu.capacity_per_s * sim.tick
+
+    def run_app(self, sim: Simulator, cpu_grant: float) -> None:
+        work = self._cpu_cost(min(self.socket.ready_bytes, 1e18))
+        self.busy_wait_s += max(0.0, cpu_grant - min(cpu_grant, work))
+        super().run_app(sim, cpu_grant)
+
+    @property
+    def cpu_utilization(self) -> float:
+        """What a utilization monitor would report: always ~100%."""
+        return 1.0

@@ -1,0 +1,11 @@
+"""Experiment scenario builders — one module per paper table/figure.
+
+Each module exposes a ``run_*`` function returning a plain result object
+(series, rows, verdicts) that the benchmarks print as the paper's rows
+and the tests assert shape properties on.  DESIGN.md Section 5 maps each
+module to its experiment.
+"""
+
+from repro.scenarios.common import Harness
+
+__all__ = ["Harness"]

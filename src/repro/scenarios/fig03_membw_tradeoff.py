@@ -1,0 +1,108 @@
+"""Figure 3: memory-bandwidth vs network-throughput tradeoff.
+
+"There are 8 VMs in a 8-core hypervisor with a 10Gbps NIC.  Some of the
+VMs perform intensive memory copy operations, and the others send
+traffic to another machine by best effort. ... When memory throughput is
+low, the NIC capacity is fully saturated.  However, when the memory
+throughput exceeds a threshold, every 1 GB/s increase of memory
+throughput causes 439 Mbps decrease of network throughput."
+
+We sweep the memcpy VMs' offered demand, measure each point's achieved
+memory throughput (x) and delivered network throughput (y), and report
+the flat region, the knee, and the declining slope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.scenarios.common import Harness
+from repro.simnet.packet import Flow
+from repro.workloads.stress import MemoryHog
+from repro.workloads.traffic import VmUdpSender
+
+N_SENDER_VMS = 4
+N_MEMCPY_VMS = 4
+WARMUP_S = 0.5
+MEASURE_S = 2.0
+
+
+@dataclass
+class TradeoffPoint:
+    offered_mem_bytes_per_s: float
+    achieved_mem_gbytes_per_s: float
+    network_gbps: float
+
+
+@dataclass
+class Fig3Result:
+    points: List[TradeoffPoint]
+
+    def knee_gbytes_per_s(self, tolerance: float = 0.03) -> float:
+        """Achieved memory throughput where the network first sags."""
+        baseline = self.points[0].network_gbps
+        for p in self.points:
+            if p.network_gbps < baseline * (1 - tolerance):
+                return p.achieved_mem_gbytes_per_s
+        return float("inf")
+
+    def declining_slope_mbps_per_gbs(self) -> float:
+        """Least-squares slope of the declining region, Mbps per GB/s."""
+        baseline = self.points[0].network_gbps
+        decline = [
+            (p.achieved_mem_gbytes_per_s, p.network_gbps)
+            for p in self.points
+            if p.network_gbps < baseline * 0.97
+        ]
+        if len(decline) < 2:
+            return 0.0
+        n = len(decline)
+        sx = sum(x for x, _ in decline)
+        sy = sum(y for _, y in decline)
+        sxx = sum(x * x for x, _ in decline)
+        sxy = sum(x * y for x, y in decline)
+        denom = n * sxx - sx * sx
+        if abs(denom) < 1e-12:
+            return 0.0
+        slope_gbps = (n * sxy - sx * sy) / denom
+        return slope_gbps * 1e3  # Gbps per GB/s -> Mbps per GB/s
+
+
+def run_point(offered_mem_bytes_per_s: float, seed: int = 0) -> TradeoffPoint:
+    """One sweep point: build the machine, run, measure both throughputs."""
+    h = Harness(seed=seed)
+    machine = h.add_machine("m1")
+    sink = h.external_host("sink")
+    senders: List[VmUdpSender] = []
+    for i in range(N_SENDER_VMS):
+        vm = machine.add_vm(f"net{i}", vcpu_cores=1.0)
+        flow = Flow(f"tx{i}", src_vm=f"net{i}", kind="udp")
+        h.fabric.route_flow_to_host(flow, sink)
+        senders.append(VmUdpSender(h.sim, f"snd{i}", vm, flow))
+    # The memcpy VMs do no network I/O; their pressure is the bus demand.
+    for i in range(N_MEMCPY_VMS):
+        machine.add_vm(f"mem{i}", vcpu_cores=1.0)
+    hog = MemoryHog(
+        h.sim, "memcpy", machine.membus,
+        demand_bytes_per_s=offered_mem_bytes_per_s,
+    )
+
+    h.advance(WARMUP_S)
+    net0 = sum(sink.rx_bytes(f"tx{i}") for i in range(N_SENDER_VMS))
+    mem0 = hog.achieved_bytes
+    h.advance(MEASURE_S)
+    net = sum(sink.rx_bytes(f"tx{i}") for i in range(N_SENDER_VMS)) - net0
+    mem = hog.achieved_bytes - mem0
+    return TradeoffPoint(
+        offered_mem_bytes_per_s=offered_mem_bytes_per_s,
+        achieved_mem_gbytes_per_s=mem / MEASURE_S / 1e9,
+        network_gbps=net * 8 / MEASURE_S / 1e9,
+    )
+
+
+def run_sweep(offered_points_gbs: Tuple[float, ...] = None, seed: int = 0) -> Fig3Result:
+    if offered_points_gbs is None:
+        offered_points_gbs = (0, 2, 4, 6, 8, 10, 14, 18, 24, 32, 48, 64)
+    points = [run_point(g * 1e9, seed=seed) for g in offered_points_gbs]
+    return Fig3Result(points=points)

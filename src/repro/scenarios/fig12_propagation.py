@@ -1,0 +1,125 @@
+"""Figure 12: root-cause detection in the face of propagation.
+
+The multi-chain topology: client -> load balancer -> {content filter 1,
+content filter 2} -> {server 1, server 2}, with both content filters
+writing access logs to a shared NFS server.  All vNICs capped at
+100 Mbps, as in the paper.
+
+Three cases, with the paper's expected outcome:
+
+* ``overloaded_server``  — client POSTs as fast as possible; server 1
+  saturates.  LB and CF1 measure WriteBlocked, NFS ReadBlocked, and
+  Algorithm 2 indicts server 1 (Figure 12(b)).
+* ``underloaded_client`` — client POSTs slowly; everything downstream is
+  ReadBlocked and the client is indicted (Figure 12(c)).
+* ``buggy_nfs``          — a memory leak degrades the NFS server; the
+  filters block on their synchronous log writes, the LB blocks on the
+  filters, the servers starve — and NFS is indicted (Figure 12(d)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cluster.chains import build_chain, connect_apps
+from repro.cluster.topology import Tenant
+from repro.core.diagnosis.propagation import RootCauseLocator
+from repro.core.diagnosis.report import RootCauseReport
+from repro.middleboxes.base import OutputPort
+from repro.middleboxes.content_filter import ContentFilter
+from repro.middleboxes.http import HttpClient, HttpServer
+from repro.middleboxes.load_balancer import LoadBalancer
+from repro.middleboxes.nfs import NfsServer
+from repro.scenarios.common import Harness
+
+VNIC_BPS = 100e6
+CASES = ("overloaded_server", "underloaded_client", "buggy_nfs")
+
+#: Paper ground truth per case.
+EXPECTED_ROOT_CAUSE = {
+    "overloaded_server": "server1",
+    "underloaded_client": "client",
+    "buggy_nfs": "nfs",
+}
+
+
+@dataclass
+class Fig12Case:
+    case: str
+    report: RootCauseReport
+    #: per middlebox, Mbps: the table rows of Figure 12(b-d)
+    b_over_ti_mbps: Dict[str, float]
+    b_over_to_mbps: Dict[str, float]
+
+
+def build_and_run(case: str, seed: int = 0, settle_s: float = 8.0) -> Fig12Case:
+    if case not in CASES:
+        raise ValueError(f"unknown case {case!r}; pick one of {CASES}")
+    h = Harness(seed=seed)
+    machine = h.add_machine("m1")
+    tenant = h.add_tenant("t1")
+
+    def vm(name):
+        return machine.add_vm(f"vm-{name}", vcpu_cores=1.0, vnic_bps=VNIC_BPS)
+
+    client = HttpClient(h.sim, vm("client"), "client")
+    lb = LoadBalancer(h.sim, vm("lb"), "lb")
+    cf1 = ContentFilter(h.sim, vm("cf1"), "cf1")
+    cf2 = ContentFilter(h.sim, vm("cf2"), "cf2")
+    server1 = HttpServer(h.sim, vm("server1"), "server1")
+    server2 = HttpServer(h.sim, vm("server2"), "server2")
+    nfs = NfsServer(h.sim, vm("nfs"), "nfs")
+    apps = [client, lb, cf1, cf2, server1, server2, nfs]
+    for app in apps:
+        h.register_app(app)
+
+    # Measured datapath (the dashed box): client -> lb -> cf1 -> server1.
+    build_chain([client, lb, cf1, server1], tenant.vnet, conn_prefix="c1")
+    # Second chain through cf2 -> server2; the LB splits its input.
+    conn_lb_cf2 = connect_apps(lb, cf2, "c2:lb->cf2")
+    lb.add_output(OutputPort(conn_lb_cf2, name="cf2", weight=1.0))
+    for node, mb_type in (("cf2", "content_filter"), ("server2", "server")):
+        tenant.vnet.add_middlebox(
+            node, "m1", node, vm_id=f"vm-{node}", mb_type=mb_type
+        )
+    tenant.vnet.add_edge("lb", "cf2")
+    conn_cf2_s2 = connect_apps(cf2, server2, "c2:cf2->server2")
+    cf2.add_forward(conn_cf2_s2)
+    tenant.vnet.add_edge("cf2", "server2")
+
+    # Both filters log synchronously to the shared NFS server.
+    tenant.vnet.add_middlebox("nfs", "m1", "nfs", vm_id="vm-nfs", mb_type="nfs")
+    for cf in (cf1, cf2):
+        log_conn = connect_apps(cf, nfs, f"log:{cf.name}->nfs")
+        cf.add_log(log_conn)
+        tenant.vnet.add_edge(cf.name, "nfs")
+
+    if case == "overloaded_server":
+        server1.slowdown = 60.0
+        server2.slowdown = 60.0
+    elif case == "underloaded_client":
+        client.set_rate(10e6)
+    elif case == "buggy_nfs":
+        nfs.inject_leak(150e6)
+
+    h.advance(settle_s)
+    locator = RootCauseLocator(h.controller, h.advance, window_s=2.0)
+    report = locator.run("t1")
+
+    def rate(name, b_attr, t_attr):
+        snap = next(a for a in apps if a.name == name).snapshot()
+        t = snap[t_attr]
+        return 8 * snap[b_attr] / t / 1e6 if t > 0 else float("nan")
+
+    names = [a.name for a in apps]
+    return Fig12Case(
+        case=case,
+        report=report,
+        b_over_ti_mbps={n: rate(n, "inBytes", "inTime") for n in names},
+        b_over_to_mbps={n: rate(n, "outBytes", "outTime") for n in names},
+    )
+
+
+def run_all(seed: int = 0) -> Dict[str, Fig12Case]:
+    return {case: build_and_run(case, seed=seed) for case in CASES}

@@ -1,0 +1,37 @@
+"""simnet: the deterministic fixed-tick substrate simulator.
+
+This package stands in for the paper's physical testbed (Linux 3.2 +
+QEMU/KVM + Open vSwitch on Dell T5500 servers).  It provides:
+
+* a fixed-tick simulation engine with scheduled events
+  (:mod:`repro.simnet.engine`),
+* packet batches and flows (:mod:`repro.simnet.packet`),
+* bounded buffers with per-location, per-flow drop accounting
+  (:mod:`repro.simnet.buffers`),
+* shared resources (CPU pool, memory bus, NIC capacity) with max-min-fair
+  or demand-proportional arbitration and hierarchical sub-resources for
+  VM vCPU allocations (:mod:`repro.simnet.resources`),
+* the :class:`~repro.simnet.element.Element` base class carrying PerfSight
+  counters and a per-tick demand/process protocol.
+
+See DESIGN.md Section 6 for why a batched fixed-tick model (rather than a
+per-packet event simulator) is the right fidelity/speed tradeoff here.
+"""
+
+from repro.simnet.buffers import Buffer
+from repro.simnet.engine import Component, SimError, Simulator
+from repro.simnet.element import Element
+from repro.simnet.packet import Flow, PacketBatch
+from repro.simnet.resources import Resource, SubResource
+
+__all__ = [
+    "Buffer",
+    "Component",
+    "Element",
+    "Flow",
+    "PacketBatch",
+    "Resource",
+    "SimError",
+    "Simulator",
+    "SubResource",
+]

@@ -1,0 +1,198 @@
+"""Fixed-tick simulation engine.
+
+The engine advances simulated time in fixed ticks (default 1 ms).  Each
+tick runs four phases over the registered components, in registration
+order:
+
+1. ``begin_tick``  — components inspect their input state and register
+   resource demands (no data moves).
+2. resource arbitration — demands are aggregated bottom-up through the
+   resource hierarchy, then capacity is allocated top-down
+   (max-min fair or demand-proportional per resource).
+3. ``process_tick`` — components consume their grants and move data.
+   Data written into a buffer this tick becomes visible next tick
+   (buffers stage arrivals), so results do not depend on component order.
+4. ``end_tick``    — buffers commit staged arrivals; traces sample.
+
+Scheduled events (fault injection, workload phase changes, periodic
+pollers) fire at the start of the tick in which they fall due.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class SimError(Exception):
+    """Raised for simulator misuse (duplicate names, bad wiring, ...)."""
+
+
+class Component:
+    """Anything that participates in the per-tick phases.
+
+    Subclasses override any subset of the phase hooks.  A component is
+    attached to exactly one simulator; attaching registers it for ticking.
+    """
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise SimError("component name must be non-empty")
+        self.name = name
+        self.sim: Optional["Simulator"] = None
+
+    # Phase hooks -------------------------------------------------------------
+    def begin_tick(self, sim: "Simulator") -> None:  # pragma: no cover - hook
+        pass
+
+    def mid_tick(self, sim: "Simulator") -> None:  # pragma: no cover - hook
+        """Runs after phase-0 (CPU) allocation, before phase-1 (memory
+        bus) allocation; components derive bus demand from CPU grants."""
+
+    def process_tick(self, sim: "Simulator") -> None:  # pragma: no cover - hook
+        pass
+
+    def end_tick(self, sim: "Simulator") -> None:  # pragma: no cover - hook
+        pass
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Simulator:
+    """The fixed-tick event loop.
+
+    Parameters
+    ----------
+    tick:
+        Tick duration in seconds.  All rate-based arithmetic in elements
+        and resources multiplies by this.
+    seed:
+        Seed for the engine-owned RNG.  All stochastic behaviour in the
+        library draws from ``sim.rng`` so runs are reproducible.
+    """
+
+    def __init__(self, tick: float = 1e-3, seed: int = 0) -> None:
+        if tick <= 0:
+            raise SimError(f"tick must be positive, got {tick!r}")
+        self.tick = tick
+        self.now = 0.0
+        self.tick_index = 0
+        self.rng = random.Random(seed)
+        self._components: List[Component] = []
+        self._by_name: Dict[str, Component] = {}
+        self._resources: List = []  # populated via repro.simnet.resources
+        self._events: List[Tuple[float, int, Callable[[], None]]] = []
+        self._event_seq = itertools.count()
+
+    # -- registration ----------------------------------------------------------
+
+    def add(self, component: Component) -> Component:
+        """Register a component for ticking; names must be unique."""
+        if component.name in self._by_name:
+            raise SimError(f"duplicate component name: {component.name!r}")
+        if component.sim is not None and component.sim is not self:
+            raise SimError(f"component {component.name!r} belongs to another simulator")
+        component.sim = self
+        self._components.append(component)
+        self._by_name[component.name] = component
+        return component
+
+    def add_resource(self, resource) -> None:
+        """Register a resource for the arbitration phase (internal use)."""
+        self._resources.append(resource)
+
+    def component(self, name: str) -> Component:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SimError(f"no component named {name!r}") from None
+
+    @property
+    def components(self) -> List[Component]:
+        return list(self._components)
+
+    # -- events -----------------------------------------------------------------
+
+    def schedule(self, at: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at the start of the tick containing time ``at``."""
+        if at < self.now:
+            raise SimError(f"cannot schedule in the past: {at} < {self.now}")
+        heapq.heappush(self._events, (at, next(self._event_seq), fn))
+
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> None:
+        self.schedule(self.now + delay, fn)
+
+    def schedule_every(
+        self, period: float, fn: Callable[[], None], start: Optional[float] = None
+    ) -> None:
+        """Run ``fn`` periodically, starting at ``start`` (default: now+period)."""
+        if period <= 0:
+            raise SimError(f"period must be positive, got {period!r}")
+        first = self.now + period if start is None else start
+
+        def fire() -> None:
+            fn()
+            self.schedule(self.now + period, fire)
+
+        self.schedule(first, fire)
+
+    # -- main loop ----------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the simulation by one tick."""
+        # Events due within this tick fire before anything else moves.
+        horizon = self.now + self.tick * 0.5
+        while self._events and self._events[0][0] <= horizon:
+            _, _, fn = heapq.heappop(self._events)
+            fn()
+
+        for comp in self._components:
+            comp.begin_tick(self)
+
+        # Two allocation phases: phase 0 (CPU pools) settles first, then
+        # components refine their phase-1 (memory bus) demand from the
+        # CPU grants in mid_tick, and phase-1 resources allocate.  Within
+        # a phase, children aggregate demand up to parents (reverse
+        # registration order so leaves go first), then roots allocate
+        # downwards.
+        for phase in (0, 1):
+            for res in reversed(self._resources):
+                if res.phase == phase:
+                    res.aggregate_demand(self)
+            for res in self._resources:
+                if res.parent is None and res.phase == phase:
+                    res.allocate(self)
+            if phase == 0:
+                for comp in self._components:
+                    comp.mid_tick(self)
+
+        for comp in self._components:
+            comp.process_tick(self)
+        for comp in self._components:
+            comp.end_tick(self)
+        for res in self._resources:
+            res.finish_tick(self)
+
+        self.tick_index += 1
+        self.now = self.tick_index * self.tick
+
+    def run(self, duration: float) -> None:
+        """Run for ``duration`` simulated seconds (rounded up to whole ticks)."""
+        if duration < 0:
+            raise SimError(f"duration must be non-negative, got {duration!r}")
+        end = self.now + duration
+        # Guard against float drift: run the exact number of ticks.
+        n_ticks = int(round(duration / self.tick))
+        if abs(n_ticks * self.tick - duration) > 1e-9 * max(1.0, duration):
+            n_ticks = int(duration / self.tick) + 1
+        for _ in range(n_ticks):
+            self.step()
+        del end
+
+    def run_until(self, t: float) -> None:
+        if t < self.now:
+            raise SimError(f"cannot run to the past: {t} < {self.now}")
+        self.run(t - self.now)

@@ -1,0 +1,130 @@
+"""Time-series tracing of element counters.
+
+Scenarios attach a :class:`Tracer` to sample counter snapshots on a fixed
+period; experiments then derive per-interval series (throughput, drops per
+second) exactly the way PerfSight's utility routines do — by differencing
+cumulative counters — without going through the controller, which keeps
+the measurement plane (traces used to draw figures) separate from the
+diagnosis plane (agent/controller queries used by the algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.simnet.engine import Component, Simulator
+
+Sampler = Callable[[], Dict[str, float]]
+
+
+@dataclass
+class Series:
+    """One sampled attribute over time."""
+
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        self.times.append(t)
+        self.values.append(v)
+
+    def deltas(self) -> "Series":
+        """Per-interval differences (for cumulative counters)."""
+        out = Series()
+        for i in range(1, len(self.values)):
+            out.append(self.times[i], self.values[i] - self.values[i - 1])
+        return out
+
+    def rates(self) -> "Series":
+        """Per-interval rate of change, in units/second."""
+        out = Series()
+        for i in range(1, len(self.values)):
+            dt = self.times[i] - self.times[i - 1]
+            if dt <= 0:
+                continue
+            out.append(self.times[i], (self.values[i] - self.values[i - 1]) / dt)
+        return out
+
+    def window(self, t0: float, t1: float) -> "Series":
+        out = Series()
+        for t, v in zip(self.times, self.values):
+            if t0 <= t <= t1:
+                out.append(t, v)
+        return out
+
+    def mean(self) -> float:
+        if not self.values:
+            return 0.0
+        return sum(self.values) / len(self.values)
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError("empty series")
+        return self.values[-1]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class Tracer(Component):
+    """Samples named sources every ``period`` seconds of simulated time.
+
+    Sources are callables returning flat ``{attr: value}`` dicts (element
+    ``snapshot`` methods fit directly).  The tracer samples in
+    ``end_tick`` so it sees the fully settled state of the tick.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "tracer", period: float = 0.1) -> None:
+        super().__init__(name)
+        if period <= 0:
+            raise ValueError(f"period must be positive: {period!r}")
+        self.period = period
+        self._sources: Dict[str, Sampler] = {}
+        self._series: Dict[Tuple[str, str], Series] = {}
+        self._next_sample = 0.0
+        sim.add(self)
+
+    def watch(self, source_name: str, sampler: Sampler) -> None:
+        if source_name in self._sources:
+            raise ValueError(f"duplicate trace source: {source_name!r}")
+        self._sources[source_name] = sampler
+
+    def watch_element(self, element) -> None:
+        """Convenience: watch an Element's snapshot under its own name."""
+        self.watch(element.name, element.snapshot)
+
+    def end_tick(self, sim: Simulator) -> None:
+        if sim.now + sim.tick < self._next_sample - 1e-12:
+            return
+        t = sim.now + sim.tick
+        for src, sampler in self._sources.items():
+            snap = sampler()
+            for attr, value in snap.items():
+                key = (src, attr)
+                series = self._series.get(key)
+                if series is None:
+                    series = self._series[key] = Series()
+                series.append(t, value)
+        self._next_sample = t + self.period
+
+    # -- access -------------------------------------------------------------------
+
+    def series(self, source: str, attr: str) -> Series:
+        key = (source, attr)
+        if key not in self._series:
+            raise KeyError(f"no trace for {source!r}/{attr!r}")
+        return self._series[key]
+
+    def has(self, source: str, attr: str) -> bool:
+        return (source, attr) in self._series
+
+    def attrs(self, source: str) -> List[str]:
+        return sorted(a for (s, a) in self._series if s == source)
+
+    def sources(self) -> List[str]:
+        return sorted(self._sources)
+
+    def rate_series(self, source: str, attr: str) -> Series:
+        """Per-interval rates for a cumulative counter."""
+        return self.series(source, attr).rates()

@@ -1,0 +1,23 @@
+"""Transport layer: TCP backpressure and UDP datagrams between apps.
+
+Section 5.2 of the paper hinges on how problems *propagate* between
+chained middleboxes: with non-blocking packet I/O (UDP) neighbor states do
+not influence each other, while TCP's flow control couples them — a slow
+receiver makes its sender WriteBlocked, a slow sender makes its receiver
+ReadBlocked.  This package models exactly that coupling:
+
+* :class:`~repro.transport.tcp.Connection` limits a sender to the free
+  space in the receiver's socket buffer minus in-flight bytes, so a
+  receiver that stops reading closes the window within one buffer's worth
+  of data.  Segments dropped inside the dataplane are retransmitted
+  (re-credited to the sender) by the :class:`TransportRegistry`.
+* :class:`~repro.transport.udp.UdpStream` is fire-and-forget: drops are
+  final and states do not propagate.
+"""
+
+from repro.transport.registry import TransportRegistry
+from repro.transport.sockets import AppSocket
+from repro.transport.tcp import Connection
+from repro.transport.udp import UdpStream
+
+__all__ = ["AppSocket", "Connection", "TransportRegistry", "UdpStream"]

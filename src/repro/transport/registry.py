@@ -1,0 +1,68 @@
+"""Connection registry and retransmit pump.
+
+One :class:`TransportRegistry` per simulator.  It is the rendezvous point
+between the dataplane and the transport layer:
+
+* buffer drop handlers look up ``sim.transport_registry`` to re-credit
+  lost TCP segments (see ``Element._on_buffer_drop``);
+* receiving guest stacks look up the connection for an arriving flow and
+  hand it the batch;
+* each tick it pumps pending retransmissions within the senders' windows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.simnet.engine import Component, SimError, Simulator
+from repro.simnet.packet import PacketBatch
+from repro.transport.tcp import Connection
+
+
+class TransportRegistry(Component):
+    """Tracks live connections; installs itself as ``sim.transport_registry``."""
+
+    def __init__(self, sim: Simulator, name: str = "transport-registry") -> None:
+        super().__init__(name)
+        self._conns: Dict[str, Connection] = {}
+        existing = getattr(sim, "transport_registry", None)
+        if existing is not None:
+            raise SimError("simulator already has a transport registry")
+        sim.transport_registry = self  # type: ignore[attr-defined]
+        sim.add(self)
+
+    def register(self, conn: Connection) -> Connection:
+        if conn.conn_id in self._conns:
+            raise SimError(f"duplicate connection id: {conn.conn_id!r}")
+        self._conns[conn.conn_id] = conn
+        return conn
+
+    def unregister(self, conn_id: str) -> None:
+        self._conns.pop(conn_id, None)
+
+    def lookup(self, conn_id: str) -> Optional[Connection]:
+        return self._conns.get(conn_id)
+
+    def connections(self) -> Dict[str, Connection]:
+        return dict(self._conns)
+
+    # -- dataplane hooks ---------------------------------------------------------
+
+    def on_segment_lost(self, batch: PacketBatch) -> None:
+        conn = self._conns.get(batch.flow.conn_id)
+        if conn is not None:
+            conn.on_segment_lost(batch)
+
+    def deliver(self, batch: PacketBatch) -> bool:
+        """Route an arriving batch to its connection; False if unknown."""
+        conn = self._conns.get(batch.flow.conn_id)
+        if conn is None:
+            return False
+        conn.deliver(batch)
+        return True
+
+    # -- per-tick -------------------------------------------------------------------
+
+    def begin_tick(self, sim: Simulator) -> None:
+        for conn in self._conns.values():
+            conn.pump_retransmits()

@@ -1,0 +1,73 @@
+"""Application socket buffers.
+
+An :class:`AppSocket` is the guest-kernel receive buffer backing one app
+endpoint — the buffer the paper's middlebox input function (``recv()``)
+copies from.  All connections terminating at the app share one socket
+buffer (like a process's accepted connection set sharing memory pressure),
+so backpressure naturally couples a busy app's many peers.
+
+The socket does not tick on its own; the owning app element calls
+:meth:`read` during its processing phase and owns the buffer's commit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.simnet.buffers import Buffer, DropCallback
+from repro.simnet.packet import PacketBatch
+
+#: Default socket receive-buffer size: 256 KiB, a typical Linux default
+#: after autotuning for a fast connection.
+DEFAULT_SOCKET_BYTES = 256 * 1024.0
+
+
+class AppSocket:
+    """Receive-side socket buffer for one app endpoint."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity_bytes: float = DEFAULT_SOCKET_BYTES,
+        on_drop: Optional[DropCallback] = None,
+    ) -> None:
+        self.name = name
+        self.buffer = Buffer(
+            f"{name}.sockbuf",
+            capacity_bytes=capacity_bytes,
+            policy="drop",
+            on_drop=on_drop,
+        )
+        #: Total unacknowledged bytes in flight toward this socket across
+        #: *all* connections (several accepted connections share one
+        #: receive buffer, so flow control must account for the union).
+        self.inflight_total = 0.0
+
+    @property
+    def capacity_bytes(self) -> float:
+        cap = self.buffer.capacity_bytes
+        assert cap is not None
+        return cap
+
+    @property
+    def free_bytes(self) -> float:
+        """Space available for new arrivals (ready + staged accounted)."""
+        return self.buffer.space_bytes()
+
+    @property
+    def ready_bytes(self) -> float:
+        return self.buffer.ready_bytes
+
+    def deliver(self, batch: PacketBatch) -> PacketBatch:
+        """Enqueue an arriving batch; returns the accepted portion."""
+        return self.buffer.push(batch)
+
+    def read(self, max_bytes: float) -> List[PacketBatch]:
+        """Dequeue up to ``max_bytes`` (the app's input method)."""
+        return self.buffer.pop_bytes(max_bytes)
+
+    def commit(self) -> None:
+        self.buffer.commit()
+
+    def __repr__(self) -> str:
+        return f"<AppSocket {self.name!r} ready={self.ready_bytes:.0f}B>"

@@ -1,0 +1,163 @@
+"""TCP connection model: receive-window backpressure.
+
+The model keeps the one TCP mechanism the diagnosis layer depends on —
+flow control — and elides congestion-window dynamics (see DESIGN.md
+Section 6).  A sender may have at most
+
+    window = receiver socket free space  -  bytes in flight
+
+unacknowledged bytes outstanding.  A receiver that stops reading fills its
+socket buffer, the window closes, and the sender becomes WriteBlocked —
+this is the propagation mechanism of Figure 7.  Segments dropped inside
+the dataplane are re-credited to the sender as retransmit debt, which the
+:class:`~repro.transport.registry.TransportRegistry` repays before new
+application data is admitted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simnet.packet import Flow, PacketBatch
+from repro.transport.sockets import AppSocket
+
+#: Callable that injects a batch into the sender's guest TX path.
+TxSubmit = Callable[[PacketBatch], None]
+#: Callable reporting free space (bytes) in the sender's guest TX queue.
+TxSpace = Callable[[], float]
+
+
+class Connection:
+    """One unidirectional TCP byte stream between two apps.
+
+    Parameters
+    ----------
+    conn_id:
+        Unique id; also stamped on the flow so dataplane drop handlers can
+        find the connection for retransmit accounting.
+    flow:
+        The dataplane flow carrying this direction's segments.  Must be
+        ``kind="tcp"`` with ``conn_id`` matching.
+    rcv_socket:
+        The receiver app's socket; its free space defines the window.
+    tx_submit / tx_space:
+        Injection point into the sender VM's transmit path and its
+        admission headroom.  ``None`` tx_space means unbounded.
+    """
+
+    def __init__(
+        self,
+        conn_id: str,
+        flow: Flow,
+        rcv_socket: AppSocket,
+        tx_submit: TxSubmit,
+        tx_space: Optional[TxSpace] = None,
+    ) -> None:
+        if flow.kind != "tcp":
+            raise ValueError(f"connection flow must be tcp, got {flow.kind!r}")
+        if flow.conn_id != conn_id:
+            raise ValueError(
+                f"flow conn_id {flow.conn_id!r} does not match connection {conn_id!r}"
+            )
+        self.conn_id = conn_id
+        self.flow = flow
+        self.rcv_socket = rcv_socket
+        self.tx_submit = tx_submit
+        self.tx_space = tx_space
+        self.inflight_bytes = 0.0
+        self.retransmit_pending = 0.0
+        # Cumulative accounting.
+        self.total_sent_bytes = 0.0  # includes retransmissions
+        self.total_app_bytes = 0.0  # new data admitted from the app
+        self.total_delivered_bytes = 0.0
+        self.total_lost_bytes = 0.0
+
+    # -- window arithmetic ------------------------------------------------------
+
+    def window_bytes(self) -> float:
+        """Unacknowledged-byte budget left under flow control.
+
+        In-flight bytes are accounted at the *socket* level: all
+        connections terminating at the same receive buffer share it, so
+        each sender's window must subtract everyone's outstanding data.
+        """
+        return max(0.0, self.rcv_socket.free_bytes - self.rcv_socket.inflight_total)
+
+    def app_writable_bytes(self) -> float:
+        """How many *new* application bytes the sender may write now.
+
+        Retransmit debt is repaid first, and the local TX queue must have
+        room; the app's write call blocks on whichever is scarce.
+        """
+        budget = self.window_bytes() - self.retransmit_pending
+        if self.tx_space is not None:
+            budget = min(budget, self.tx_space() - self.retransmit_pending)
+        return max(0.0, budget)
+
+    # -- sender side ---------------------------------------------------------------
+
+    def write(self, nbytes: float) -> float:
+        """Admit up to ``nbytes`` of new app data; returns bytes accepted."""
+        if nbytes <= 0:
+            return 0.0
+        n = min(nbytes, self.app_writable_bytes())
+        if n < 1.0:
+            # Sub-byte residue: a real sender cannot write it, and crumbs
+            # pollute the dataplane queues.
+            return 0.0
+        self._transmit(n)
+        self.total_app_bytes += n
+        return n
+
+    def pump_retransmits(self) -> float:
+        """Resend lost bytes within the current window; returns bytes sent."""
+        if self.retransmit_pending <= 0:
+            return 0.0
+        budget = self.window_bytes()
+        if self.tx_space is not None:
+            budget = min(budget, self.tx_space())
+        n = min(self.retransmit_pending, budget)
+        if n < 1.0:
+            return 0.0
+        self.retransmit_pending -= n
+        self._transmit(n)
+        return n
+
+    def _transmit(self, nbytes: float) -> None:
+        batch = PacketBatch.of_bytes(self.flow, nbytes)
+        self.inflight_bytes += nbytes
+        self.rcv_socket.inflight_total += nbytes
+        self.total_sent_bytes += nbytes
+        self.tx_submit(batch)
+
+    # -- receiver side ----------------------------------------------------------------
+
+    def deliver(self, batch: PacketBatch) -> None:
+        """Called by the receiving guest stack when segments arrive.
+
+        The window invariant guarantees the socket accepts everything; if
+        float drift ever overflows it anyway, the socket buffer's drop
+        callback routes the residue back through
+        :meth:`on_segment_lost` like any other dataplane loss.
+        """
+        self.inflight_bytes = max(0.0, self.inflight_bytes - batch.nbytes)
+        self.rcv_socket.inflight_total = max(
+            0.0, self.rcv_socket.inflight_total - batch.nbytes
+        )
+        accepted = self.rcv_socket.deliver(batch)
+        self.total_delivered_bytes += accepted.nbytes
+
+    def on_segment_lost(self, batch: PacketBatch) -> None:
+        """Called via the transport registry when the dataplane drops us."""
+        self.inflight_bytes = max(0.0, self.inflight_bytes - batch.nbytes)
+        self.rcv_socket.inflight_total = max(
+            0.0, self.rcv_socket.inflight_total - batch.nbytes
+        )
+        self.retransmit_pending += batch.nbytes
+        self.total_lost_bytes += batch.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"<Connection {self.conn_id!r} inflight={self.inflight_bytes:.0f}B "
+            f"retx={self.retransmit_pending:.0f}B window={self.window_bytes():.0f}B>"
+        )

@@ -1,0 +1,66 @@
+"""UDP datagram streams: non-blocking, fire-and-forget.
+
+The paper notes that neighboring middleboxes exchanging messages over
+non-blocking packet I/O do not propagate their states to each other
+(Section 5.2); :class:`UdpStream` is that case.  Drops anywhere on the
+path are final — there is no window, no retransmission, and the sender is
+never blocked by the receiver (only by its own TX queue headroom).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simnet.packet import Flow, PacketBatch
+
+TxSubmit = Callable[[PacketBatch], None]
+TxSpace = Callable[[], float]
+
+
+class UdpStream:
+    """One unidirectional UDP stream from an app into the dataplane."""
+
+    def __init__(
+        self,
+        flow: Flow,
+        tx_submit: TxSubmit,
+        tx_space: Optional[TxSpace] = None,
+    ) -> None:
+        if flow.kind != "udp":
+            raise ValueError(f"UdpStream flow must be udp, got {flow.kind!r}")
+        self.flow = flow
+        self.tx_submit = tx_submit
+        self.tx_space = tx_space
+        self.total_sent_bytes = 0.0
+        self.total_sent_pkts = 0.0
+
+    def writable_bytes(self) -> float:
+        """UDP senders only block on local TX queue space."""
+        if self.tx_space is None:
+            return float("inf")
+        return max(0.0, self.tx_space())
+
+    def send_bytes(self, nbytes: float) -> float:
+        """Send up to ``nbytes`` at the flow's nominal packet size."""
+        n = min(nbytes, self.writable_bytes())
+        if n < 1.0:
+            return 0.0
+        batch = PacketBatch.of_bytes(self.flow, n)
+        self.total_sent_pkts += batch.pkts
+        self.total_sent_bytes += batch.nbytes
+        self.tx_submit(batch)
+        return n
+
+    def send_pkts(self, pkts: float) -> float:
+        """Send up to ``pkts`` packets; returns packets actually sent."""
+        if pkts <= 0:
+            return 0.0
+        max_bytes = self.writable_bytes()
+        n_pkts = min(pkts, max_bytes / self.flow.packet_bytes)
+        if n_pkts <= 0:
+            return 0.0
+        batch = PacketBatch.of_pkts(self.flow, n_pkts)
+        self.total_sent_pkts += batch.pkts
+        self.total_sent_bytes += batch.nbytes
+        self.tx_submit(batch)
+        return n_pkts

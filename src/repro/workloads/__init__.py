@@ -1,0 +1,20 @@
+"""Workload generators and fault injection.
+
+Traffic sources drive the dataplane from outside (wire-side injection)
+or from inside VMs (UDP senders); stress workloads occupy shared
+resources (CPU hogs, memory-bandwidth hogs) to create the contention
+scenarios of Section 7; fault helpers schedule the paper's injected
+problems (memory leak, performance bug, workload phase changes).
+"""
+
+from repro.workloads.faults import schedule_phases
+from repro.workloads.stress import CpuHog, MemoryHog
+from repro.workloads.traffic import ExternalTrafficSource, VmUdpSender
+
+__all__ = [
+    "CpuHog",
+    "ExternalTrafficSource",
+    "MemoryHog",
+    "VmUdpSender",
+    "schedule_phases",
+]

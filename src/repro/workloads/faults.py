@@ -1,0 +1,51 @@
+"""Fault/phase injection helpers.
+
+The validation experiments inject problems on a timeline (Figure 8:
+rx flood at 10 s, tx flood at 30 s, CPU hogs at 50 s, ...).  These
+helpers express such timelines declaratively: a phase is
+``(start_s, end_s, on_enter, on_exit)`` and :func:`schedule_phases`
+registers the transitions with the simulator's event queue.
+
+Performance-bug injection on middleboxes uses the app's ``slowdown``
+knob (:func:`inject_perf_bug`) — the "soft failure" of a buggy software
+upgrade described in Section 2.2 — or, for the NFS server, the
+stateful memory-leak model in :mod:`repro.middleboxes.nfs`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Tuple
+
+from repro.simnet.engine import Simulator
+
+Phase = Tuple[float, Optional[float], Callable[[], None], Optional[Callable[[], None]]]
+
+
+def schedule_phases(sim: Simulator, phases: Iterable[Phase]) -> None:
+    """Register a list of timed phases.
+
+    Each phase is ``(start_s, end_s, on_enter, on_exit)``; ``end_s`` or
+    ``on_exit`` may be None for open-ended phases.
+    """
+    for start, end, on_enter, on_exit in phases:
+        sim.schedule(start, on_enter)
+        if end is not None and on_exit is not None:
+            sim.schedule(end, on_exit)
+
+
+def inject_perf_bug(app, slowdown_factor: float) -> Callable[[], None]:
+    """Slow a middlebox by a factor (a buggy 'upgrade'); returns the undo.
+
+    ``slowdown_factor`` multiplies the app's per-byte/per-packet CPU
+    cost, e.g. 10.0 means the upgraded software needs 10x the cycles for
+    the same traffic.
+    """
+    if slowdown_factor < 1.0:
+        raise ValueError(f"slowdown_factor must be >= 1: {slowdown_factor!r}")
+    previous = app.slowdown
+    app.slowdown = previous * slowdown_factor
+
+    def undo() -> None:
+        app.slowdown = previous
+
+    return undo

@@ -1,0 +1,126 @@
+"""Resource stress workloads.
+
+These are the contention generators of Section 7: VMs "performing
+intensive memory copy operations" (Figures 3, 8, 11, 13) and "CPU
+intensive workloads" (Figure 8), plus in-VM hogs for single-VM
+bottlenecks.  Each hog claims one resource directly — a memory hog does
+no packet work, it just occupies bus bandwidth — and records its
+*achieved* throughput, which is the x-axis of Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.simnet.engine import Component, Simulator
+from repro.simnet.resources import Resource
+
+
+class MemoryHog(Component):
+    """Occupies memory-bus bandwidth (memcpy loops in a VM or host task).
+
+    ``demand_bytes_per_s`` is offered load; the proportional bus
+    arbitration decides what it actually gets.  ``achieved_bytes`` /
+    elapsed time is the measured memory throughput.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        membus: Resource,
+        demand_bytes_per_s: float = 0.0,
+        weight: float = 1.0,
+    ) -> None:
+        super().__init__(name)
+        self.membus = membus
+        self.demand_bytes_per_s = demand_bytes_per_s
+        self.weight = weight
+        self.enabled = True
+        self.achieved_bytes = 0.0
+        self.active_time_s = 0.0
+        sim.add(self)
+
+    def set_demand(self, demand_bytes_per_s: float) -> None:
+        if demand_bytes_per_s < 0:
+            raise ValueError(f"demand must be >= 0: {demand_bytes_per_s!r}")
+        self.demand_bytes_per_s = demand_bytes_per_s
+        self.enabled = True
+
+    def stop(self) -> None:
+        self.enabled = False
+
+    def start(self) -> None:
+        self.enabled = True
+
+    def begin_tick(self, sim: Simulator) -> None:
+        if not self.enabled or self.demand_bytes_per_s <= 0:
+            return
+        self.membus.request(
+            self.name, self.demand_bytes_per_s * sim.tick, weight=self.weight
+        )
+
+    def process_tick(self, sim: Simulator) -> None:
+        if not self.enabled or self.demand_bytes_per_s <= 0:
+            return
+        self.achieved_bytes += self.membus.grant(self.name)
+        self.active_time_s += sim.tick
+
+    @property
+    def achieved_bytes_per_s(self) -> float:
+        if self.active_time_s <= 0:
+            return 0.0
+        return self.achieved_bytes / self.active_time_s
+
+
+class CpuHog(Component):
+    """Occupies CPU (host pool or a VM's vCPU sub-resource).
+
+    ``threads`` scales the offered demand: a hog with 4 spinning threads
+    asks for 4 core-seconds per second, which under the proportional
+    user tier is how real hogs crowd out lightweight I/O threads.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        cpu: Resource,
+        threads: float = 1.0,
+        weight: float = 1.0,
+        priority: int = 0,
+    ) -> None:
+        super().__init__(name)
+        if threads < 0:
+            raise ValueError(f"threads must be >= 0: {threads!r}")
+        self.cpu = cpu
+        self.threads = threads
+        self.weight = weight
+        self.priority = priority
+        self.enabled = True
+        self.achieved_cpu_s = 0.0
+        sim.add(self)
+
+    def set_threads(self, threads: float) -> None:
+        if threads < 0:
+            raise ValueError(f"threads must be >= 0: {threads!r}")
+        self.threads = threads
+        self.enabled = True
+
+    def stop(self) -> None:
+        self.enabled = False
+
+    def start(self) -> None:
+        self.enabled = True
+
+    def begin_tick(self, sim: Simulator) -> None:
+        if not self.enabled or self.threads <= 0:
+            return
+        self.cpu.request(
+            self.name, self.threads * sim.tick, weight=self.weight, priority=self.priority
+        )
+
+    def process_tick(self, sim: Simulator) -> None:
+        if not self.enabled or self.threads <= 0:
+            return
+        self.achieved_cpu_s += self.cpu.grant(self.name)

@@ -1,0 +1,134 @@
+"""Traffic sources.
+
+Two injection points match the two ways traffic enters a software
+dataplane:
+
+* :class:`ExternalTrafficSource` — frames arriving from the physical
+  network (pushed into a machine's pNIC, or any callable target).  Used
+  for the RX-flood and rate-limited receive experiments (Figures 8, 10).
+* :class:`VmUdpSender` — an in-VM sender writing through the guest TX
+  path (socket -> vNIC -> QEMU -> backlog -> vswitch -> pNIC), consuming
+  guest vCPU and memory bandwidth on the way.  Used for the TX small-
+  packet flood (Figure 10) and the best-effort senders of Figures 3/11.
+
+Both support ``set_rate`` / ``stop`` and scheduled phase changes via
+:func:`repro.workloads.faults.schedule_phases`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.simnet.engine import Component, Simulator
+from repro.simnet.packet import Flow, PacketBatch
+from repro.transport.udp import UdpStream
+
+
+class ExternalTrafficSource(Component):
+    """Constant-bit-rate (or pps) frame injection from the wire."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        flow: Flow,
+        target: Callable[[PacketBatch], object],
+        rate_bps: Optional[float] = None,
+        rate_pps: Optional[float] = None,
+    ) -> None:
+        super().__init__(name)
+        if (rate_bps is None) == (rate_pps is None):
+            raise ValueError("exactly one of rate_bps / rate_pps must be set")
+        self.flow = flow
+        self.target = target
+        self.rate_bps = rate_bps
+        self.rate_pps = rate_pps
+        self.enabled = True
+        self.total_offered_bytes = 0.0
+        self.total_offered_pkts = 0.0
+        sim.add(self)
+
+    def set_rate(self, rate_bps: Optional[float] = None, rate_pps: Optional[float] = None) -> None:
+        if (rate_bps is None) == (rate_pps is None):
+            raise ValueError("exactly one of rate_bps / rate_pps must be set")
+        self.rate_bps = rate_bps
+        self.rate_pps = rate_pps
+        self.enabled = True
+
+    def stop(self) -> None:
+        self.enabled = False
+
+    def start(self) -> None:
+        self.enabled = True
+
+    def begin_tick(self, sim: Simulator) -> None:
+        if not self.enabled:
+            return
+        if self.rate_bps is not None:
+            nbytes = self.rate_bps / 8.0 * sim.tick
+            if nbytes <= 0:
+                return
+            batch = PacketBatch.of_bytes(self.flow, nbytes)
+        else:
+            pkts = self.rate_pps * sim.tick
+            if pkts <= 0:
+                return
+            batch = PacketBatch.of_pkts(self.flow, pkts)
+        self.total_offered_bytes += batch.nbytes
+        self.total_offered_pkts += batch.pkts
+        self.target(batch)
+
+
+class VmUdpSender(Component):
+    """In-VM UDP sender: app-level injection through the guest TX path.
+
+    ``rate_bps=None`` sends best-effort: as much as the guest TX queue
+    admits each tick (the "send traffic by best effort" VMs of Figure 3).
+    ``rate_pps`` with a small ``flow.packet_bytes`` produces the
+    small-packet flood of Figure 10.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        vm,
+        flow: Flow,
+        rate_bps: Optional[float] = None,
+        rate_pps: Optional[float] = None,
+    ) -> None:
+        super().__init__(name)
+        if rate_bps is not None and rate_pps is not None:
+            raise ValueError("set at most one of rate_bps / rate_pps")
+        self.vm = vm
+        self.stream = UdpStream(flow, tx_submit=vm.tx_submit, tx_space=vm.tx_space)
+        self.rate_bps = rate_bps
+        self.rate_pps = rate_pps
+        self.enabled = True
+        self.total_sent_bytes = 0.0
+        sim.add(self)
+
+    def set_rate(self, rate_bps: Optional[float] = None, rate_pps: Optional[float] = None) -> None:
+        self.rate_bps = rate_bps
+        self.rate_pps = rate_pps
+        self.enabled = True
+
+    def stop(self) -> None:
+        self.enabled = False
+
+    def start(self) -> None:
+        self.enabled = True
+
+    def begin_tick(self, sim: Simulator) -> None:
+        if not self.enabled:
+            return
+        if self.rate_pps is not None:
+            sent_pkts = self.stream.send_pkts(self.rate_pps * sim.tick)
+            self.total_sent_bytes += sent_pkts * self.stream.flow.packet_bytes
+            return
+        want = (
+            self.rate_bps / 8.0 * sim.tick
+            if self.rate_bps is not None
+            else self.stream.writable_bytes()
+        )
+        self.total_sent_bytes += self.stream.send_bytes(want)

@@ -1,0 +1,25 @@
+"""Shared fixtures: small worlds the unit/integration tests compose."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataplane.machine import PhysicalMachine
+from repro.simnet.engine import Simulator
+from repro.transport.registry import TransportRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(tick=1e-3, seed=42)
+
+
+@pytest.fixture
+def sim_with_transport(sim: Simulator) -> Simulator:
+    TransportRegistry(sim)
+    return sim
+
+
+@pytest.fixture
+def machine(sim_with_transport: Simulator) -> PhysicalMachine:
+    return PhysicalMachine(sim_with_transport, "m1")

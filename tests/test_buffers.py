@@ -1,0 +1,218 @@
+"""Unit + property tests for bounded buffers (simnet/buffers.py)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.buffers import Buffer
+from repro.simnet.engine import SimError
+from repro.simnet.packet import Flow, PacketBatch
+
+
+def batch(pkts, size=100.0, flow_id="f"):
+    return PacketBatch(Flow(flow_id, packet_bytes=size), pkts, pkts * size)
+
+
+class TestBasics:
+    def test_staged_until_commit(self):
+        b = Buffer("q")
+        b.push(batch(5))
+        assert b.ready_pkts == 0
+        assert b.pkts == 5  # occupancy includes staged
+        b.commit()
+        assert b.ready_pkts == 5
+
+    def test_fifo_pop(self):
+        b = Buffer("q")
+        b.push(batch(2, flow_id="first"))
+        b.push(batch(3, flow_id="second"))
+        b.commit()
+        out = b.pop_pkts(2)
+        assert [x.flow.flow_id for x in out] == ["first"]
+        out = b.pop_pkts(10)
+        assert [x.flow.flow_id for x in out] == ["second"]
+
+    def test_pop_splits_head(self):
+        b = Buffer("q")
+        b.push(batch(10))
+        b.commit()
+        out = b.pop_pkts(4)
+        assert sum(x.pkts for x in out) == pytest.approx(4)
+        assert b.ready_pkts == pytest.approx(6)
+
+    def test_pop_bytes(self):
+        b = Buffer("q")
+        b.push(batch(10, size=100))
+        b.commit()
+        out = b.pop_bytes(350)
+        assert sum(x.nbytes for x in out) == pytest.approx(350)
+
+    def test_accounting_totals(self):
+        b = Buffer("q")
+        b.push(batch(5))
+        b.commit()
+        b.pop_pkts(3)
+        assert b.total_in_pkts == 5
+        assert b.total_out_pkts == 3
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(SimError):
+            Buffer("q", policy="magic")
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(SimError):
+            Buffer("q", capacity_pkts=0)
+        with pytest.raises(SimError):
+            Buffer("q", capacity_bytes=-5)
+
+
+class TestDropPolicy:
+    def test_overflow_dropped_at_commit(self):
+        drops = []
+        b = Buffer("q", capacity_pkts=10, on_drop=lambda loc, x: drops.append(x))
+        b.push(batch(25))
+        b.commit()
+        assert b.ready_pkts == pytest.approx(10)
+        assert b.total_drop_pkts == pytest.approx(15)
+        assert sum(x.pkts for x in drops) == pytest.approx(15)
+
+    def test_overflow_shared_proportionally(self):
+        b = Buffer("q", capacity_pkts=10)
+        b.push(batch(30, flow_id="big"))
+        b.push(batch(10, flow_id="small"))
+        b.commit()
+        flows = b.peek_flows()
+        # 10 admitted out of 40 staged: each flow keeps 25%.
+        assert flows["big"][0] == pytest.approx(7.5)
+        assert flows["small"][0] == pytest.approx(2.5)
+        assert b.drops_by_flow["big"] == pytest.approx(22.5)
+        assert b.drops_by_flow["small"] == pytest.approx(7.5)
+
+    def test_byte_capacity_binds(self):
+        b = Buffer("q", capacity_bytes=500)
+        b.push(batch(10, size=100))
+        b.commit()
+        assert b.ready_bytes == pytest.approx(500)
+        assert b.total_drop_bytes == pytest.approx(500)
+
+    def test_room_respects_existing_ready(self):
+        b = Buffer("q", capacity_pkts=10)
+        b.push(batch(8))
+        b.commit()
+        b.push(batch(8))
+        b.commit()
+        assert b.ready_pkts == pytest.approx(10)
+        assert b.total_drop_pkts == pytest.approx(6)
+
+    def test_service_credit_expands_room(self):
+        b = Buffer("q", capacity_pkts=10)
+        b.push(batch(8))
+        b.commit()
+        b.pop_pkts(8)  # drained; consumer had leftover capacity
+        b.report_service_credit(20, 2000)
+        b.push(batch(25))
+        b.commit()
+        # room = (10 - 0) + 20 credit = 30 >= 25: everything fits.
+        assert b.total_drop_pkts == 0
+        assert b.ready_pkts == pytest.approx(25)
+
+    def test_service_credit_resets_each_commit(self):
+        b = Buffer("q", capacity_pkts=10)
+        b.report_service_credit(100, 1e6)
+        b.commit()
+        b.push(batch(50))
+        b.commit()
+        assert b.ready_pkts == pytest.approx(10)
+
+
+class TestBlockPolicy:
+    def test_push_past_capacity_raises(self):
+        b = Buffer("q", capacity_pkts=5, policy="block")
+        with pytest.raises(SimError, match="blocking"):
+            b.push(batch(10))
+
+    def test_space_accounts_staged(self):
+        b = Buffer("q", capacity_pkts=10, policy="block")
+        b.push(batch(4))
+        assert b.space_pkts() == pytest.approx(6)
+
+    def test_exact_fill_accepted(self):
+        b = Buffer("q", capacity_pkts=5, policy="block")
+        b.push(batch(5))
+        b.commit()
+        assert b.ready_pkts == pytest.approx(5)
+
+
+class TestBudgetedPop:
+    def test_budget_consumed_in_place(self):
+        b = Buffer("q")
+        b.push(batch(10, size=100))
+        b.commit()
+        costs = [[1.0, 0.0, 4.0]]  # per-pkt budget of 4
+        out = b.pop_budgeted(costs)
+        assert sum(x.pkts for x in out) == pytest.approx(4)
+        assert costs[0][2] == pytest.approx(0.0, abs=1e-9)
+
+    def test_multiple_budgets_tightest_wins(self):
+        b = Buffer("q")
+        b.push(batch(10, size=100))
+        b.commit()
+        costs = [[1.0, 0.0, 8.0], [0.0, 1.0, 300.0]]  # 8 pkts vs 3 pkts of bytes
+        out = b.pop_budgeted(costs)
+        assert sum(x.pkts for x in out) == pytest.approx(3)
+
+    def test_mixed_packet_sizes_costed_exactly(self):
+        b = Buffer("q")
+        b.push(batch(10, size=64, flow_id="small"))
+        b.push(batch(10, size=1500, flow_id="big"))
+        b.commit()
+        # Byte budget covers all small packets plus some big ones.
+        costs = [[0.0, 1.0, 640 + 3000.0]]
+        out = b.pop_budgeted(costs)
+        by_flow = {}
+        for x in out:
+            by_flow[x.flow.flow_id] = by_flow.get(x.flow.flow_id, 0) + x.pkts
+        assert by_flow["small"] == pytest.approx(10)
+        assert by_flow["big"] == pytest.approx(2)
+
+    def test_no_costs_pops_everything(self):
+        b = Buffer("q")
+        b.push(batch(7))
+        b.commit()
+        out = b.pop_budgeted([])
+        assert sum(x.pkts for x in out) == pytest.approx(7)
+
+    def test_zero_budget_pops_nothing(self):
+        b = Buffer("q")
+        b.push(batch(7))
+        b.commit()
+        assert b.pop_budgeted([[1.0, 0.0, 0.0]]) == []
+
+
+class TestClear:
+    def test_clear_discards_without_drop_accounting(self):
+        b = Buffer("q", capacity_pkts=100)
+        b.push(batch(5))
+        b.commit()
+        b.push(batch(5))
+        b.clear()
+        assert b.pkts == 0
+        assert b.total_drop_pkts == 0
+
+
+@settings(max_examples=60)
+@given(
+    pushes=st.lists(st.floats(min_value=0.1, max_value=500.0), min_size=1, max_size=8),
+    cap=st.floats(min_value=1.0, max_value=1000.0),
+    pops=st.floats(min_value=0.0, max_value=2000.0),
+)
+def test_conservation_in_equals_out_plus_drops_plus_occupancy(pushes, cap, pops):
+    """Flow conservation: total_in == total_out + drops + occupancy."""
+    b = Buffer("q", capacity_pkts=cap)
+    for p in pushes:
+        b.push(batch(p))
+    b.commit()
+    b.pop_pkts(pops)
+    assert b.total_in_pkts == pytest.approx(
+        b.total_out_pkts + b.total_drop_pkts + b.pkts, rel=1e-9, abs=1e-6
+    )
+    assert b.ready_pkts <= cap + 1e-6

@@ -1,0 +1,38 @@
+"""CLI command coverage beyond the smoke tests in test_extensions.
+
+The heavier commands (fig12, fig10, table1) run real scenarios, so each
+is exercised once with its fastest configuration.
+"""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_listed_experiments_have_descriptions(self):
+        assert all(desc for desc in EXPERIMENTS.values())
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig12_case_choices(self):
+        args = build_parser().parse_args(["fig12", "--case", "buggy_nfs"])
+        assert args.case == "buggy_nfs"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig12", "--case", "nope"])
+
+
+@pytest.mark.slow
+class TestHeavyCommands:
+    def test_fig12_single_case(self, capsys):
+        assert main(["fig12", "--case", "underloaded_client"]) == 0
+        out = capsys.readouterr().out
+        assert "root causes: ['client']" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "incoming-bandwidth" in out
+        assert "vm-bottleneck" in out

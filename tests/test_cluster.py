@@ -1,0 +1,152 @@
+"""Unit tests for the tenant/topology/placement layer (repro/cluster)."""
+
+import pytest
+
+from repro.cluster.chains import build_chain, connect_apps
+from repro.cluster.placement import Placement
+from repro.cluster.topology import Tenant, VirtualNetwork
+from repro.dataplane.machine import PhysicalMachine
+from repro.middleboxes.http import HttpClient, HttpServer
+from repro.middleboxes.proxy import Proxy
+
+
+class TestVirtualNetwork:
+    def test_register_and_locate(self):
+        v = VirtualNetwork("t1")
+        v.register_element("fw", "m1", "fw-element")
+        assert v.locate("fw") == ("m1", "fw-element")
+        with pytest.raises(KeyError):
+            v.locate("nope")
+
+    def test_duplicate_element_rejected(self):
+        v = VirtualNetwork("t1")
+        v.register_element("e", "m1", "x")
+        with pytest.raises(ValueError):
+            v.register_element("e", "m2", "y")
+
+    def test_middlebox_also_registers_element(self):
+        v = VirtualNetwork("t1")
+        v.add_middlebox("lb", "m1", "lb-app", vm_id="vm-lb")
+        assert v.locate("lb") == ("m1", "lb-app")
+
+    def test_edges_and_closures(self):
+        v = VirtualNetwork("t1")
+        for n in ("a", "b", "c", "d"):
+            v.add_middlebox(n, "m1", n)
+        v.add_edge("a", "b")
+        v.add_edge("b", "c")
+        v.add_edge("b", "d")
+        assert sorted(v.successors_closure("a")) == ["b", "c", "d"]
+        assert sorted(v.predecessors_closure("d")) == ["a", "b"]
+        assert v.successors_closure("c") == []
+
+    def test_closure_handles_shared_nodes(self):
+        """Multi-chain: two filters sharing one NFS log server."""
+        v = VirtualNetwork("t1")
+        for n in ("lb", "cf1", "cf2", "nfs"):
+            v.add_middlebox(n, "m1", n)
+        v.add_edge("lb", "cf1")
+        v.add_edge("lb", "cf2")
+        v.add_edge("cf1", "nfs")
+        v.add_edge("cf2", "nfs")
+        assert sorted(v.predecessors_closure("nfs")) == ["cf1", "cf2", "lb"]
+
+    def test_duplicate_middlebox_rejected(self):
+        v = VirtualNetwork("t1")
+        v.add_middlebox("a", "m1", "a")
+        with pytest.raises(ValueError):
+            v.add_middlebox("a", "m1", "a")
+
+    def test_duplicate_edge_idempotent(self):
+        v = VirtualNetwork("t1")
+        v.add_middlebox("a", "m1", "a")
+        v.add_middlebox("b", "m1", "b")
+        v.add_edge("a", "b")
+        v.add_edge("a", "b")
+        assert v.middlebox("a").successors == ["b"]
+
+    def test_tenant_creates_vnet(self):
+        t = Tenant("acme")
+        assert t.vnet.tenant_id == "acme"
+
+
+class TestPlacement:
+    def test_place_and_lookup(self):
+        p = Placement()
+        p.place("vm1", "m1", tenant_id="t1")
+        assert p.machine_of("vm1") == "m1"
+        assert p.tenant_of("vm1") == "t1"
+
+    def test_double_place_rejected(self):
+        p = Placement()
+        p.place("vm1", "m1")
+        with pytest.raises(ValueError):
+            p.place("vm1", "m2")
+
+    def test_migrate(self):
+        p = Placement()
+        p.place("vm1", "m1")
+        old = p.migrate("vm1", "m2")
+        assert old == "m1"
+        assert p.machine_of("vm1") == "m2"
+        with pytest.raises(KeyError):
+            p.migrate("ghost", "m1")
+
+    def test_vms_on_machine(self):
+        p = Placement()
+        p.place("vm1", "m1")
+        p.place("vm2", "m1")
+        p.place("vm3", "m2")
+        assert p.vms_on("m1") == ["vm1", "vm2"]
+
+    def test_colocated_tenants(self):
+        p = Placement()
+        p.place("vm1", "m1", tenant_id="t1")
+        p.place("vm2", "m1", tenant_id="t2")
+        p.place("vm3", "m2", tenant_id="t3")
+        assert p.colocated_tenants("m1") == ["t1", "t2"]
+
+    def test_vms_of_tenant(self):
+        p = Placement()
+        p.place("vm1", "m1", tenant_id="t1")
+        p.place("vm2", "m2", tenant_id="t1")
+        assert p.vms_of_tenant("t1") == ["vm1", "vm2"]
+
+
+class TestChains:
+    def test_build_chain_wires_and_records(self, sim_with_transport):
+        sim = sim_with_transport
+        m = PhysicalMachine(sim, "m1")
+        client = HttpClient(sim, m.add_vm("vc", vnic_bps=1e8), "client", rate_bps=5e6)
+        proxy = Proxy(sim, m.add_vm("vp", vnic_bps=1e8), "proxy")
+        server = HttpServer(sim, m.add_vm("vs", vnic_bps=1e8), "server")
+        t = Tenant("t1")
+        conns = build_chain([client, proxy, server], t.vnet)
+        assert len(conns) == 2
+        assert t.vnet.middlebox("proxy").successors == ["server"]
+        assert t.vnet.middlebox("proxy").predecessors == ["client"]
+        sim.run(1.0)
+        assert server.total_consumed_bytes > 0
+
+    def test_chain_needs_two_apps(self, sim_with_transport):
+        sim = sim_with_transport
+        m = PhysicalMachine(sim, "m1")
+        app = Proxy(sim, m.add_vm("v1"), "p")
+        with pytest.raises(ValueError):
+            build_chain([app], VirtualNetwork("t"))
+
+    def test_connect_requires_registry(self, sim):
+        m = PhysicalMachine(sim, "m1")  # no TransportRegistry on this sim
+        a = Proxy(sim, m.add_vm("v1"), "a")
+        b = Proxy(sim, m.add_vm("v2"), "b")
+        with pytest.raises(RuntimeError, match="TransportRegistry"):
+            connect_apps(a, b, "x")
+
+    def test_cross_machine_requires_fabric(self, sim_with_transport):
+        sim = sim_with_transport
+        m1 = PhysicalMachine(sim, "m1")
+        m2 = PhysicalMachine(sim, "m2")
+        a = Proxy(sim, m1.add_vm("v1"), "a")
+        b = Proxy(sim, m2.add_vm("v2"), "b")
+        with pytest.raises(RuntimeError, match="fabric"):
+            connect_apps(a, b, "x")

@@ -1,0 +1,145 @@
+"""Unit tests for the counter primitives (core/counters.py)."""
+
+import pytest
+
+from repro.core.counters import (
+    CounterOverheadModel,
+    CounterSet,
+    IOTimeCounter,
+    SIMPLE_COUNTER_UPDATE_COST_S,
+    TIME_COUNTER_UPDATE_COST_S,
+    diff_snapshots,
+)
+
+
+class TestIOTimeCounter:
+    def test_accumulates(self):
+        c = IOTimeCounter()
+        c.add(0.5)
+        c.add(0.25)
+        assert c.total_s == pytest.approx(0.75)
+        assert c.updates == 2
+
+    def test_multiple_calls_per_add(self):
+        c = IOTimeCounter()
+        c.add(0.1, calls=8)
+        assert c.updates == 8
+
+    def test_rejects_negative_time(self):
+        c = IOTimeCounter()
+        with pytest.raises(ValueError):
+            c.add(-0.1)
+
+    def test_reset(self):
+        c = IOTimeCounter()
+        c.add(1.0)
+        c.reset()
+        assert c.total_s == 0.0
+        assert c.updates == 0
+
+
+class TestOverheadModel:
+    def test_paper_constants(self):
+        assert SIMPLE_COUNTER_UPDATE_COST_S == pytest.approx(3e-9)
+        assert TIME_COUNTER_UPDATE_COST_S == pytest.approx(0.29e-6)
+
+    def test_cost_combines_both_kinds(self):
+        m = CounterOverheadModel()
+        cost = m.cost_for(simple_updates=100, time_updates=10)
+        assert cost == pytest.approx(100 * 3e-9 + 10 * 0.29e-6)
+
+    def test_disabled_costs_nothing(self):
+        m = CounterOverheadModel.disabled()
+        assert m.cost_for(1e6, 1e6) == 0.0
+
+    def test_time_only_disabled(self):
+        m = CounterOverheadModel(enabled_time=False)
+        assert m.cost_for(10, 10) == pytest.approx(10 * 3e-9)
+
+    def test_simple_only_disabled(self):
+        m = CounterOverheadModel(enabled_simple=False)
+        assert m.cost_for(10, 10) == pytest.approx(10 * 0.29e-6)
+
+
+class TestCounterSet:
+    def test_rx_tx_accumulate(self):
+        cs = CounterSet()
+        cs.count_rx(10, 15000)
+        cs.count_rx(5, 7500)
+        cs.count_tx(12, 18000)
+        snap = cs.snapshot()
+        assert snap["rx_pkts"] == 15
+        assert snap["rx_bytes"] == 22500
+        assert snap["tx_pkts"] == 12
+        assert snap["tx_bytes"] == 18000
+
+    def test_drop_locations_tracked_separately(self):
+        cs = CounterSet()
+        cs.count_drop("tun-vm1", 4, 6000)
+        cs.count_drop("pcpu_backlog", 6, 384)
+        cs.count_drop("tun-vm1", 1, 1500)
+        assert cs.drops["tun-vm1"] == 5
+        assert cs.drops["pcpu_backlog"] == 6
+        assert cs.total_drops == 11
+        snap = cs.snapshot()
+        assert snap["drops.tun-vm1"] == 5
+        assert snap["drops"] == 11
+
+    def test_drop_flow_attribution(self):
+        cs = CounterSet()
+        cs.count_drop("tun-vm1", 3, 4500, flow_id="f1")
+        cs.count_drop("tun-vm1", 2, 3000, flow_id="f2")
+        assert cs.drops_by_flow == {"f1": 3, "f2": 2}
+        assert cs.snapshot()["drops_flow.f1"] == 3
+
+    def test_io_time_counters_in_snapshot(self):
+        cs = CounterSet()
+        cs.count_in_time(0.4, calls=2)
+        cs.count_out_time(0.1, calls=1)
+        snap = cs.snapshot()
+        assert snap["in_time"] == pytest.approx(0.4)
+        assert snap["out_time"] == pytest.approx(0.1)
+
+    def test_update_cost_accrues_and_drains(self):
+        cs = CounterSet()
+        cs.count_rx(100, 150000)  # 200 simple updates
+        cs.count_in_time(0.01, calls=5)  # 5 time updates
+        cost = cs.drain_update_cost()
+        assert cost == pytest.approx(200 * 3e-9 + 5 * 0.29e-6)
+        assert cs.drain_update_cost() == 0.0
+
+    def test_disabled_overhead_accrues_nothing(self):
+        cs = CounterSet(CounterOverheadModel.disabled())
+        cs.count_rx(1000, 1.5e6)
+        cs.count_in_time(1.0, calls=100)
+        assert cs.drain_update_cost() == 0.0
+
+    def test_reset_clears_everything(self):
+        cs = CounterSet()
+        cs.count_rx(1, 1)
+        cs.count_drop("x", 1, 1, flow_id="f")
+        cs.count_in_time(1.0)
+        cs.reset()
+        snap = cs.snapshot()
+        assert all(v == 0 for v in snap.values())
+
+    def test_drop_bytes_tracked(self):
+        cs = CounterSet()
+        cs.count_drop("pnic", 2, 3000)
+        assert cs.total_drop_bytes == 3000
+        assert cs.snapshot()["drop_bytes"] == 3000
+
+
+class TestDiffSnapshots:
+    def test_basic_difference(self):
+        before = {"a": 10.0, "b": 5.0}
+        after = {"a": 14.0, "b": 5.0}
+        assert diff_snapshots(before, after) == {"a": 4.0, "b": 0.0}
+
+    def test_attr_filter(self):
+        before = {"a": 1.0, "b": 1.0}
+        after = {"a": 3.0, "b": 9.0}
+        assert diff_snapshots(before, after, attrs=["b"]) == {"b": 8.0}
+
+    def test_new_attr_appears(self):
+        assert diff_snapshots({}, {"drops.tun": 7.0}) == {"drops.tun": 7.0}

@@ -1,0 +1,197 @@
+"""Integration tests for the virtualization stack (repro/dataplane)."""
+
+import pytest
+
+from repro.dataplane.fabric import ExternalHost, Fabric
+from repro.dataplane.machine import PhysicalMachine
+from repro.dataplane.params import DataplaneParams
+from repro.middleboxes.http import HttpServer
+from repro.simnet.engine import SimError, Simulator
+from repro.simnet.packet import Flow, PacketBatch
+from repro.transport.registry import TransportRegistry
+from repro.workloads.traffic import ExternalTrafficSource, VmUdpSender
+
+
+def udp_receiver(sim, machine, vm_id, rate_bps, cpu_per_byte=1e-9):
+    """VM + sink app + external source at rate; returns (vm, app, flow)."""
+    vm = machine.add_vm(vm_id, vcpu_cores=1.0)
+    app = HttpServer(sim, vm, f"app-{vm_id}", cpu_per_byte=cpu_per_byte)
+    flow = Flow(f"rx-{vm_id}", dst_vm=vm_id, kind="udp")
+    vm.bind_udp(flow, app.socket)
+    ExternalTrafficSource(sim, f"src-{vm_id}", flow, machine.inject, rate_bps=rate_bps)
+    return vm, app, flow
+
+
+class TestMachineAssembly:
+    def test_duplicate_vm_rejected(self, machine):
+        machine.add_vm("v1")
+        with pytest.raises(SimError):
+            machine.add_vm("v1")
+
+    def test_stack_vs_all_elements(self, machine):
+        machine.add_vm("v1")
+        stack = {e.name for e in machine.stack_elements()}
+        everything = {e.name for e in machine.all_elements()}
+        assert "tun-v1@m1" in stack
+        assert "gstack-v1@m1" not in stack
+        assert "gstack-v1@m1" in everything
+
+    def test_remove_vm_detaches_rule(self, machine):
+        machine.add_vm("v1")
+        machine.remove_vm("v1")
+        assert "v1" not in machine.vms
+        with pytest.raises(SimError):
+            machine.remove_vm("v1")
+
+    def test_vm_lookup(self, machine):
+        vm = machine.add_vm("v1")
+        assert machine.vm("v1") is vm
+        with pytest.raises(SimError):
+            machine.vm("ghost")
+
+
+class TestEndToEndDelivery:
+    def test_udp_reaches_app(self, sim_with_transport):
+        sim = sim_with_transport
+        m = PhysicalMachine(sim, "m1")
+        _, app, _ = udp_receiver(sim, m, "v1", rate_bps=100e6)
+        sim.run(1.0)
+        # ~100 Mbps delivered minus pipeline fill.
+        assert app.total_consumed_bytes == pytest.approx(100e6 / 8, rel=0.05)
+
+    def test_no_drops_at_moderate_rate(self, sim_with_transport):
+        sim = sim_with_transport
+        m = PhysicalMachine(sim, "m1")
+        udp_receiver(sim, m, "v1", rate_bps=500e6)
+        sim.run(1.0)
+        for e in m.all_elements():
+            assert e.counters.total_drops == 0, e.name
+
+    def test_incoming_over_line_rate_drops_at_pnic(self, sim_with_transport):
+        sim = sim_with_transport
+        m = PhysicalMachine(sim, "m1")
+        udp_receiver(sim, m, "v1", rate_bps=500e6)
+        flood = Flow("flood", dst_vm="v1", kind="udp", packet_bytes=9000.0)
+        ExternalTrafficSource(sim, "flood", flood, m.inject, rate_bps=12e9)
+        sim.run(1.0)
+        assert m.pnic_rx.counters.drops.get("pnic", 0) > 0
+
+    def test_vnic_capacity_caps_vm_throughput(self, sim_with_transport):
+        sim = sim_with_transport
+        m = PhysicalMachine(sim, "m1")
+        vm = m.add_vm("v1", vcpu_cores=1.0, vnic_bps=50e6)
+        app = HttpServer(sim, vm, "app", cpu_per_byte=1e-9)
+        flow = Flow("rx", dst_vm="v1", kind="udp")
+        vm.bind_udp(flow, app.socket)
+        ExternalTrafficSource(sim, "src", flow, m.inject, rate_bps=200e6)
+        sim.run(1.0)
+        rate = app.total_consumed_bytes * 8 / 1.0
+        assert rate == pytest.approx(50e6, rel=0.05)
+        # The excess backs up and drops at this VM's TUN (Table 1).
+        assert vm.tun.counters.drops.get("tun-v1", 0) > 0
+
+    def test_vm_to_vm_via_vswitch(self, sim_with_transport):
+        sim = sim_with_transport
+        m = PhysicalMachine(sim, "m1")
+        vm1 = m.add_vm("v1", vcpu_cores=1.0)
+        vm2 = m.add_vm("v2", vcpu_cores=1.0)
+        app2 = HttpServer(sim, vm2, "app2", cpu_per_byte=1e-9)
+        flow = Flow("v1v2", src_vm="v1", dst_vm="v2", kind="udp")
+        vm2.bind_udp(flow, app2.socket)
+        sender = VmUdpSender(sim, "snd", vm1, flow, rate_bps=100e6)
+        sim.run(1.0)
+        assert app2.total_consumed_bytes == pytest.approx(100e6 / 8, rel=0.05)
+        # And the frames went through the shared backlog + vswitch.
+        assert m.vswitch.counters.rx_pkts > 0
+        assert m.backlog.counters.rx_pkts > 0
+
+    def test_unknown_destination_leaves_via_pnic(self, sim_with_transport):
+        sim = sim_with_transport
+        m = PhysicalMachine(sim, "m1")
+        vm1 = m.add_vm("v1", vcpu_cores=1.0)
+        flow = Flow("out", src_vm="v1", kind="udp")
+        VmUdpSender(sim, "snd", vm1, flow, rate_bps=50e6)
+        sim.run(0.5)
+        assert m.pnic_tx.counters.rx_bytes > 0
+
+
+class TestFabric:
+    def test_cross_machine_delivery(self, sim_with_transport):
+        sim = sim_with_transport
+        fab = Fabric(sim)
+        m1 = PhysicalMachine(sim, "m1")
+        m2 = PhysicalMachine(sim, "m2")
+        fab.attach(m1)
+        fab.attach(m2)
+        vm1 = m1.add_vm("v1", vcpu_cores=1.0)
+        vm2 = m2.add_vm("v2", vcpu_cores=1.0)
+        app2 = HttpServer(sim, vm2, "app2", cpu_per_byte=1e-9)
+        flow = Flow("x", src_vm="v1", dst_vm="v2", kind="udp")
+        vm2.bind_udp(flow, app2.socket)
+        fab.route_flow_to_machine(flow, m2)
+        VmUdpSender(sim, "snd", vm1, flow, rate_bps=80e6)
+        sim.run(1.0)
+        assert app2.total_consumed_bytes == pytest.approx(80e6 / 8, rel=0.05)
+
+    def test_unrouted_traffic_counted(self, sim_with_transport):
+        sim = sim_with_transport
+        fab = Fabric(sim)
+        m1 = PhysicalMachine(sim, "m1")
+        fab.attach(m1)
+        vm1 = m1.add_vm("v1", vcpu_cores=1.0)
+        flow = Flow("nowhere", src_vm="v1", kind="udp")
+        VmUdpSender(sim, "snd", vm1, flow, rate_bps=10e6)
+        sim.run(0.5)
+        assert fab.unrouted_bytes > 0
+
+    def test_external_host_sink_counts(self, sim_with_transport):
+        sim = sim_with_transport
+        fab = Fabric(sim)
+        m1 = PhysicalMachine(sim, "m1")
+        fab.attach(m1)
+        host = ExternalHost(sim, "sink")
+        vm1 = m1.add_vm("v1", vcpu_cores=1.0)
+        flow = Flow("tosink", src_vm="v1", kind="udp")
+        fab.route_flow_to_host(flow, host)
+        VmUdpSender(sim, "snd", vm1, flow, rate_bps=40e6)
+        sim.run(1.0)
+        assert host.rx_bytes("tosink") == pytest.approx(40e6 / 8, rel=0.05)
+
+    def test_duplicate_attach_rejected(self, sim_with_transport):
+        sim = sim_with_transport
+        fab = Fabric(sim)
+        m1 = PhysicalMachine(sim, "m1")
+        fab.attach(m1)
+        with pytest.raises(SimError):
+            fab.attach(m1)
+
+
+class TestVmManagement:
+    def test_set_vnic_bps_live(self, sim_with_transport):
+        sim = sim_with_transport
+        m = PhysicalMachine(sim, "m1")
+        vm = m.add_vm("v1", vcpu_cores=1.0, vnic_bps=50e6)
+        app = HttpServer(sim, vm, "app", cpu_per_byte=1e-9)
+        flow = Flow("rx", dst_vm="v1", kind="udp")
+        vm.bind_udp(flow, app.socket)
+        ExternalTrafficSource(sim, "src", flow, m.inject, rate_bps=200e6)
+        sim.run(0.5)
+        before = app.total_consumed_bytes
+        vm.set_vnic_bps(200e6)
+        sim.run(0.5)
+        after_rate = (app.total_consumed_bytes - before) * 8 / 0.5
+        assert after_rate > 150e6
+
+    def test_duplicate_udp_bind_rejected(self, machine):
+        vm = machine.add_vm("v1")
+        sock = vm.new_socket("s")
+        flow = Flow("f", dst_vm="v1", kind="udp")
+        vm.bind_udp(flow, sock)
+        with pytest.raises(SimError):
+            vm.bind_udp(flow, sock)
+
+    def test_bind_tcp_flow_rejected(self, machine):
+        vm = machine.add_vm("v1")
+        sock = vm.new_socket("s")
+        with pytest.raises(SimError):
+            vm.bind_udp(Flow("f", kind="tcp", conn_id="c"), sock)

@@ -1,0 +1,182 @@
+"""Unit tests for the fixed-tick engine (simnet/engine.py)."""
+
+import pytest
+
+from repro.simnet.engine import Component, SimError, Simulator
+
+
+class Recorder(Component):
+    """Counts phase invocations, in order."""
+
+    def __init__(self, name="rec"):
+        super().__init__(name)
+        self.calls = []
+
+    def begin_tick(self, sim):
+        self.calls.append(("begin", sim.tick_index))
+
+    def mid_tick(self, sim):
+        self.calls.append(("mid", sim.tick_index))
+
+    def process_tick(self, sim):
+        self.calls.append(("process", sim.tick_index))
+
+    def end_tick(self, sim):
+        self.calls.append(("end", sim.tick_index))
+
+
+class TestSimulatorBasics:
+    def test_tick_must_be_positive(self):
+        with pytest.raises(SimError):
+            Simulator(tick=0)
+        with pytest.raises(SimError):
+            Simulator(tick=-1e-3)
+
+    def test_time_advances_by_ticks(self):
+        sim = Simulator(tick=1e-3)
+        sim.run(0.01)
+        assert sim.now == pytest.approx(0.01)
+        assert sim.tick_index == 10
+
+    def test_run_accumulates_without_drift(self):
+        sim = Simulator(tick=1e-3)
+        for _ in range(100):
+            sim.run(0.01)
+        assert sim.now == pytest.approx(1.0)
+        assert sim.tick_index == 1000
+
+    def test_run_until(self):
+        sim = Simulator(tick=1e-3)
+        sim.run_until(0.05)
+        assert sim.now == pytest.approx(0.05)
+        with pytest.raises(SimError):
+            sim.run_until(0.01)
+
+    def test_negative_duration_rejected(self):
+        sim = Simulator(tick=1e-3)
+        with pytest.raises(SimError):
+            sim.run(-1.0)
+
+
+class TestComponents:
+    def test_phase_order_within_tick(self):
+        sim = Simulator(tick=1e-3)
+        rec = Recorder()
+        sim.add(rec)
+        sim.step()
+        assert rec.calls == [
+            ("begin", 0),
+            ("mid", 0),
+            ("process", 0),
+            ("end", 0),
+        ]
+
+    def test_components_tick_in_registration_order(self):
+        sim = Simulator(tick=1e-3)
+        order = []
+
+        class Named(Component):
+            def begin_tick(self, sim):
+                order.append(self.name)
+
+        for name in ("a", "b", "c"):
+            sim.add(Named(name))
+        sim.step()
+        assert order == ["a", "b", "c"]
+
+    def test_duplicate_name_rejected(self):
+        sim = Simulator()
+        sim.add(Component("x"))
+        with pytest.raises(SimError, match="duplicate"):
+            sim.add(Component("x"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SimError):
+            Component("")
+
+    def test_component_lookup(self):
+        sim = Simulator()
+        c = sim.add(Component("findme"))
+        assert sim.component("findme") is c
+        with pytest.raises(SimError):
+            sim.component("ghost")
+
+    def test_component_cannot_join_two_sims(self):
+        sim1, sim2 = Simulator(), Simulator()
+        c = Component("shared")
+        sim1.add(c)
+        with pytest.raises(SimError):
+            sim2.add(c)
+
+
+class TestEvents:
+    def test_event_fires_at_scheduled_tick(self):
+        sim = Simulator(tick=1e-3)
+        fired = []
+        sim.schedule(0.005, lambda: fired.append(sim.now))
+        sim.run(0.01)
+        assert len(fired) == 1
+        assert fired[0] == pytest.approx(0.005, abs=1.1e-3)
+
+    def test_schedule_after(self):
+        sim = Simulator(tick=1e-3)
+        sim.run(0.005)
+        fired = []
+        sim.schedule_after(0.003, lambda: fired.append(sim.now))
+        sim.run(0.01)
+        assert fired and fired[0] == pytest.approx(0.008, abs=1.1e-3)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator(tick=1e-3)
+        sim.run(0.01)
+        with pytest.raises(SimError):
+            sim.schedule(0.005, lambda: None)
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator(tick=1e-3)
+        order = []
+        sim.schedule(0.007, lambda: order.append("late"))
+        sim.schedule(0.002, lambda: order.append("early"))
+        sim.run(0.01)
+        assert order == ["early", "late"]
+
+    def test_same_time_events_fifo(self):
+        sim = Simulator(tick=1e-3)
+        order = []
+        sim.schedule(0.004, lambda: order.append(1))
+        sim.schedule(0.004, lambda: order.append(2))
+        sim.run(0.01)
+        assert order == [1, 2]
+
+    def test_schedule_every(self):
+        sim = Simulator(tick=1e-3)
+        hits = []
+        sim.schedule_every(0.01, lambda: hits.append(sim.now))
+        sim.run(0.055)
+        assert len(hits) == 5
+
+    def test_schedule_every_bad_period(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            sim.schedule_every(0.0, lambda: None)
+
+    def test_event_fires_before_phases(self):
+        sim = Simulator(tick=1e-3)
+        seen = []
+
+        class Observer(Component):
+            def begin_tick(self, s):
+                seen.append(("begin", flag[0]))
+
+        flag = [False]
+        sim.add(Observer("obs"))
+        sim.schedule(0.0, lambda: flag.__setitem__(0, True))
+        sim.step()
+        assert seen[0] == ("begin", True)
+
+    def test_rng_deterministic_by_seed(self):
+        a = Simulator(seed=7).rng.random()
+        b = Simulator(seed=7).rng.random()
+        c = Simulator(seed=8).rng.random()
+        assert a == b
+        assert a != c

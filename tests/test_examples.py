@@ -1,0 +1,41 @@
+"""The examples are part of the public contract: they must run clean.
+
+The quickstart and remote-agent walkthroughs finish in seconds and are
+executed outright; the slower scenario-driven examples are exercised by
+the benchmarks that share their builders.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    return module
+
+
+def test_quickstart_runs_and_diagnoses():
+    load("quickstart").main()  # asserts the proxy verdict internally
+
+
+def test_remote_agent_runs(capsys):
+    load("remote_agent").main()
+    out = capsys.readouterr().out
+    assert "GetThroughput(pnic) = 120.0 Mbps" in out
+    assert "stopped cleanly" in out
+
+
+def test_examples_exist_and_are_documented():
+    expected = {"quickstart", "chain_diagnosis", "multi_tenant_operator", "remote_agent"}
+    found = {p.stem for p in EXAMPLES.glob("*.py")}
+    assert expected <= found
+    for name in expected:
+        text = (EXAMPLES / f"{name}.py").read_text()
+        assert text.startswith("#!/usr/bin/env python3"), name
+        assert '"""' in text, name

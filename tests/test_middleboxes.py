@@ -1,0 +1,266 @@
+"""Behavioural tests for the middlebox applications."""
+
+import pytest
+
+from repro.cluster.chains import build_chain, connect_apps
+from repro.cluster.topology import Tenant
+from repro.dataplane.machine import PhysicalMachine
+from repro.middleboxes import (
+    CacheProxy,
+    ContentFilter,
+    Firewall,
+    HttpClient,
+    HttpServer,
+    IntrusionPreventionSystem,
+    LoadBalancer,
+    Nat,
+    NfsServer,
+    OutputPort,
+    Proxy,
+    RedundancyEliminator,
+    Transcoder,
+)
+
+
+@pytest.fixture
+def world(sim_with_transport):
+    sim = sim_with_transport
+    machine = PhysicalMachine(sim, "m1")
+    return sim, machine
+
+
+def make_vm(machine, name, vnic_bps=200e6):
+    return machine.add_vm(name, vcpu_cores=1.0, vnic_bps=vnic_bps)
+
+
+def simple_chain(sim, machine, mb, rate=None):
+    client = HttpClient(sim, make_vm(machine, "vm-c"), "client", rate_bps=rate)
+    server = HttpServer(sim, make_vm(machine, "vm-s"), "server", cpu_per_byte=2e-9)
+    tenant = Tenant("t")
+    build_chain([client, mb, server], tenant.vnet)
+    return client, server, tenant
+
+
+class TestProxy:
+    def test_relays_all_bytes(self, world):
+        sim, machine = world
+        proxy = Proxy(sim, make_vm(machine, "vm-p"), "proxy")
+        client, server, _ = simple_chain(sim, machine, proxy, rate=50e6)
+        sim.run(2.0)
+        assert server.total_consumed_bytes == pytest.approx(
+            client.total_offered_bytes, rel=0.1
+        )
+        snap = proxy.snapshot()
+        assert snap["outBytes"] == pytest.approx(snap["inBytes"], rel=0.01)
+
+    def test_capacity_about_500mbps_per_core(self, world):
+        sim, machine = world
+        # Big socket buffers so the per-hop tick latency does not make
+        # the receive window the bottleneck (we want the CPU to bind).
+        proxy = Proxy(
+            sim, make_vm(machine, "vm-p", vnic_bps=2e9), "proxy", sock_bytes=4e6
+        )
+        client = HttpClient(sim, make_vm(machine, "vm-c", vnic_bps=2e9), "client")
+        server = HttpServer(
+            sim,
+            make_vm(machine, "vm-s", vnic_bps=2e9),
+            "server",
+            cpu_per_byte=2e-9,
+            sock_bytes=4e6,
+        )
+        tenant = Tenant("t")
+        build_chain([client, proxy, server], tenant.vnet)
+        sim.run(2.0)
+        rate = server.total_consumed_bytes * 8 / 2.0
+        assert rate == pytest.approx(500e6, rel=0.15)
+
+
+class TestLoadBalancer:
+    def test_splits_by_weight(self, world):
+        sim, machine = world
+        lb = LoadBalancer(sim, make_vm(machine, "vm-lb"), "lb")
+        client = HttpClient(sim, make_vm(machine, "vm-c"), "client", rate_bps=40e6)
+        s1 = HttpServer(sim, make_vm(machine, "vm-s1"), "s1", cpu_per_byte=2e-9)
+        s2 = HttpServer(sim, make_vm(machine, "vm-s2"), "s2", cpu_per_byte=2e-9)
+        client.add_output(
+            OutputPort(connect_apps(client, lb, "c->lb"), name="lb")
+        )
+        lb.add_output(OutputPort(connect_apps(lb, s1, "lb->s1"), weight=3.0))
+        lb.add_output(OutputPort(connect_apps(lb, s2, "lb->s2"), weight=1.0))
+        sim.run(2.0)
+        total = s1.total_consumed_bytes + s2.total_consumed_bytes
+        assert s1.total_consumed_bytes / total == pytest.approx(0.75, abs=0.05)
+
+    def test_blocked_backend_stalls_only_its_share(self, world):
+        sim, machine = world
+        lb = LoadBalancer(sim, make_vm(machine, "vm-lb"), "lb")
+        client = HttpClient(sim, make_vm(machine, "vm-c"), "client", rate_bps=40e6)
+        s1 = HttpServer(sim, make_vm(machine, "vm-s1"), "s1", cpu_per_byte=2e-9)
+        s2 = HttpServer(sim, make_vm(machine, "vm-s2"), "s2", cpu_per_byte=2e-9)
+        s2.slowdown = 1e5  # effectively frozen backend
+        client.add_output(OutputPort(connect_apps(client, lb, "c->lb"), name="lb"))
+        lb.add_output(OutputPort(connect_apps(lb, s1, "lb->s1")))
+        lb.add_output(OutputPort(connect_apps(lb, s2, "lb->s2")))
+        sim.run(2.0)
+        assert s1.total_consumed_bytes > 10 * max(s2.total_consumed_bytes, 1.0)
+
+
+class TestContentFilter:
+    def test_log_written_proportionally(self, world):
+        sim, machine = world
+        cf = ContentFilter(sim, make_vm(machine, "vm-cf"), "cf", log_ratio=0.25)
+        client = HttpClient(sim, make_vm(machine, "vm-c"), "client", rate_bps=20e6)
+        server = HttpServer(sim, make_vm(machine, "vm-s"), "server", cpu_per_byte=2e-9)
+        nfs = NfsServer(sim, make_vm(machine, "vm-n"), "nfs")
+        client.add_output(OutputPort(connect_apps(client, cf, "c->cf")))
+        cf.add_forward(connect_apps(cf, server, "cf->s"))
+        cf.add_log(connect_apps(cf, nfs, "cf->nfs"))
+        sim.run(2.0)
+        assert nfs.total_consumed_bytes == pytest.approx(
+            server.total_consumed_bytes * 0.25, rel=0.1
+        )
+
+    def test_blocked_log_stalls_forwarding(self, world):
+        """Duplicate coupling: a hung NFS write-blocks the filter."""
+        sim, machine = world
+        cf = ContentFilter(sim, make_vm(machine, "vm-cf"), "cf", log_ratio=0.25)
+        client = HttpClient(sim, make_vm(machine, "vm-c"), "client", rate_bps=20e6)
+        server = HttpServer(sim, make_vm(machine, "vm-s"), "server", cpu_per_byte=2e-9)
+        nfs = NfsServer(sim, make_vm(machine, "vm-n"), "nfs")
+        nfs.slowdown = 1e5
+        client.add_output(OutputPort(connect_apps(client, cf, "c->cf")))
+        cf.add_forward(connect_apps(cf, server, "cf->s"))
+        cf.add_log(connect_apps(cf, nfs, "cf->nfs"))
+        sim.run(3.0)
+        # Forwarding is choked to roughly the stuck log's pace.
+        assert server.total_consumed_bytes * 8 / 3.0 < 5e6
+
+
+class TestNfsServer:
+    def test_leak_degrades_service(self, world):
+        sim, machine = world
+        nfs = NfsServer(sim, make_vm(machine, "vm-n"), "nfs", mem_limit_bytes=50e6)
+        client = HttpClient(sim, make_vm(machine, "vm-c"), "client", rate_bps=30e6)
+        client.add_output(OutputPort(connect_apps(client, nfs, "c->nfs")))
+        sim.run(1.0)
+        healthy = nfs.total_consumed_bytes
+        nfs.inject_leak(100e6)  # hits the 50 MB limit within a second
+        sim.run(2.0)
+        degraded_rate = (nfs.total_consumed_bytes - healthy) / 2.0
+        assert degraded_rate < healthy / 1.0 * 0.6
+
+    def test_restart_recovers(self, world):
+        sim, machine = world
+        nfs = NfsServer(sim, make_vm(machine, "vm-n"), "nfs", mem_limit_bytes=10e6)
+        nfs.inject_leak(1e9)
+        sim.run(0.5)
+        assert nfs.slowdown > 1.0
+        nfs.restart()
+        sim.run(0.01)
+        assert nfs.slowdown == pytest.approx(1.0)
+
+    def test_leak_rate_validation(self, world):
+        sim, machine = world
+        nfs = NfsServer(sim, make_vm(machine, "vm-n"), "nfs")
+        with pytest.raises(ValueError):
+            nfs.inject_leak(-1.0)
+
+
+class TestFirewall:
+    def test_deny_fraction_dropped(self, world):
+        sim, machine = world
+        fw = Firewall(sim, make_vm(machine, "vm-f"), "fw", deny_fraction=0.5)
+        client, server, _ = simple_chain(sim, machine, fw, rate=20e6)
+        sim.run(2.0)
+        assert server.total_consumed_bytes == pytest.approx(
+            fw.counters.rx_bytes * 0.5, rel=0.1
+        )
+        assert fw.counters.drops.get("fw.policy", 0) > 0
+
+    def test_verdicts(self, world):
+        sim, machine = world
+        fw = Firewall(sim, make_vm(machine, "vm-f"), "fw")
+        fw.set_verdict("bad-flow", allow=False)
+        assert not fw.verdict("bad-flow")
+        assert fw.verdict("unknown-flow")  # default allow
+
+    def test_invalid_fraction(self, world):
+        sim, machine = world
+        with pytest.raises(ValueError):
+            Firewall(sim, make_vm(machine, "vm-f"), "fw", deny_fraction=1.5)
+
+
+class TestNat:
+    def test_translation_table(self, world):
+        sim, machine = world
+        nat = Nat(sim, make_vm(machine, "vm-n"), "nat", table_size=2)
+        p1 = nat.translate("flow-a")
+        p2 = nat.translate("flow-b")
+        assert p1 != p2
+        assert nat.translate("flow-a") == p1  # stable
+        assert nat.translate("flow-c") == -1  # table full
+        assert nat.refused_flows == 1
+        nat.release("flow-a")
+        assert nat.translate("flow-c") > 0
+
+
+class TestTransformingBoxes:
+    def test_cache_forwards_only_misses(self, world):
+        sim, machine = world
+        cache = CacheProxy(sim, make_vm(machine, "vm-ca"), "cache", hit_ratio=0.4)
+        client = HttpClient(sim, make_vm(machine, "vm-c"), "client", rate_bps=20e6)
+        origin = HttpServer(sim, make_vm(machine, "vm-s"), "origin", cpu_per_byte=2e-9)
+        client.add_output(OutputPort(connect_apps(client, cache, "c->ca")))
+        cache.add_miss_path(connect_apps(cache, origin, "ca->o"))
+        sim.run(2.0)
+        assert origin.total_consumed_bytes == pytest.approx(
+            cache.counters.rx_bytes * 0.6, rel=0.1
+        )
+
+    def test_re_compresses(self, world):
+        sim, machine = world
+        re = RedundancyEliminator(sim, make_vm(machine, "vm-re"), "re", redundancy=0.5)
+        client = HttpClient(sim, make_vm(machine, "vm-c"), "client", rate_bps=20e6)
+        server = HttpServer(sim, make_vm(machine, "vm-s"), "server", cpu_per_byte=2e-9)
+        client.add_output(OutputPort(connect_apps(client, re, "c->re")))
+        re.add_encoded_path(connect_apps(re, server, "re->s"))
+        sim.run(2.0)
+        assert server.total_consumed_bytes == pytest.approx(
+            re.counters.rx_bytes * 0.5, rel=0.1
+        )
+
+    def test_ips_blocks_alert_fraction(self, world):
+        sim, machine = world
+        ips = IntrusionPreventionSystem(
+            sim, make_vm(machine, "vm-i"), "ips", alert_fraction=0.2
+        )
+        client, server, _ = simple_chain(sim, machine, ips, rate=10e6)
+        sim.run(2.0)
+        assert server.total_consumed_bytes == pytest.approx(
+            ips.counters.rx_bytes * 0.8, rel=0.1
+        )
+
+
+class TestTranscoder:
+    def test_always_demands_full_cpu(self, world):
+        """The Section-2.3 motivating example: utilization is useless."""
+        sim, machine = world
+        vm = make_vm(machine, "vm-t")
+        tc = Transcoder(sim, vm, "transcoder")
+        sim.run(0.5)  # completely idle: no input at all
+        assert tc.cpu_utilization == 1.0
+        assert tc.busy_wait_s > 0.4  # almost the whole time was busy-wait
+
+    def test_io_counters_still_reveal_starvation(self, world):
+        sim, machine = world
+        vm = make_vm(machine, "vm-t", vnic_bps=100e6)
+        tc = Transcoder(sim, vm, "transcoder")
+        client = HttpClient(sim, make_vm(machine, "vm-c"), "client", rate_bps=2e6)
+        server = HttpServer(sim, make_vm(machine, "vm-s"), "server", cpu_per_byte=2e-9)
+        client.add_output(OutputPort(connect_apps(client, tc, "c->t")))
+        tc.add_output(OutputPort(connect_apps(tc, server, "t->s"), ratio=0.6))
+        sim.run(3.0)
+        snap = tc.snapshot()
+        # ReadBlocked by the slow client despite 100% CPU "utilization".
+        rate = 8 * snap["inBytes"] / snap["inTime"]
+        assert rate < 0.9 * 100e6

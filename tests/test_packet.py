@@ -1,0 +1,126 @@
+"""Unit + property tests for flows and packet batches (simnet/packet.py)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.packet import DEFAULT_PACKET_BYTES, Flow, PacketBatch
+
+
+class TestFlow:
+    def test_defaults(self):
+        f = Flow("f1")
+        assert f.kind == "udp"
+        assert f.packet_bytes == DEFAULT_PACKET_BYTES
+
+    def test_rejects_empty_id(self):
+        with pytest.raises(ValueError):
+            Flow("")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Flow("f", kind="sctp")
+
+    def test_rejects_bad_packet_size(self):
+        with pytest.raises(ValueError):
+            Flow("f", packet_bytes=0)
+
+    def test_reversed_swaps_endpoints(self):
+        f = Flow("f", src_vm="a", dst_vm="b")
+        r = f.reversed()
+        assert (r.src_vm, r.dst_vm) == ("b", "a")
+        assert r.flow_id == "f:rev"
+
+    def test_reversed_custom_id(self):
+        f = Flow("f", src_vm="a", dst_vm="b")
+        assert f.reversed("back").flow_id == "back"
+
+    def test_flows_hashable_and_frozen(self):
+        f = Flow("f")
+        assert hash(f) == hash(Flow("f"))
+        with pytest.raises(Exception):
+            f.flow_id = "g"  # type: ignore[misc]
+
+
+class TestPacketBatch:
+    def test_of_bytes(self):
+        f = Flow("f", packet_bytes=1000)
+        b = PacketBatch.of_bytes(f, 5000)
+        assert b.pkts == 5
+        assert b.nbytes == 5000
+
+    def test_of_pkts(self):
+        f = Flow("f", packet_bytes=64)
+        b = PacketBatch.of_pkts(f, 10)
+        assert b.nbytes == 640
+
+    def test_rejects_negative(self):
+        f = Flow("f")
+        with pytest.raises(ValueError):
+            PacketBatch(f, -1, 0)
+        with pytest.raises(ValueError):
+            PacketBatch(f, 0, 100)
+
+    def test_of_bytes_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PacketBatch.of_bytes(Flow("f"), 0)
+
+    def test_split_pkts_preserves_ratio(self):
+        f = Flow("f", packet_bytes=100)
+        b = PacketBatch(f, 10, 1000)
+        taken = b.split_pkts(4)
+        assert taken.pkts == pytest.approx(4)
+        assert taken.nbytes == pytest.approx(400)
+        assert b.pkts == pytest.approx(6)
+        assert b.nbytes == pytest.approx(600)
+
+    def test_split_clamps_to_available(self):
+        b = PacketBatch(Flow("f"), 3, 4500)
+        taken = b.split_pkts(100)
+        assert taken.pkts == 3
+        assert b.empty
+
+    def test_split_bytes(self):
+        b = PacketBatch(Flow("f", packet_bytes=100), 10, 1000)
+        taken = b.split_bytes(250)
+        assert taken.nbytes == pytest.approx(250)
+        assert taken.pkts == pytest.approx(2.5)
+
+    def test_avg_packet_bytes(self):
+        b = PacketBatch(Flow("f"), 4, 600)
+        assert b.avg_packet_bytes == 150
+        assert PacketBatch(Flow("f"), 0, 0).avg_packet_bytes == 0
+
+    def test_empty_flag(self):
+        b = PacketBatch(Flow("f"), 1, 1500)
+        assert not b.empty
+        b.split_pkts(1)
+        assert b.empty
+
+
+@given(
+    pkts=st.floats(min_value=0.001, max_value=1e6),
+    frac=st.floats(min_value=0.0, max_value=1.0),
+    pkt_size=st.floats(min_value=1.0, max_value=9000.0),
+)
+def test_split_conserves_mass(pkts, frac, pkt_size):
+    """Splitting never creates or destroys packets or bytes."""
+    f = Flow("f", packet_bytes=pkt_size)
+    b = PacketBatch.of_pkts(f, pkts)
+    total_p, total_b = b.pkts, b.nbytes
+    taken = b.split_pkts(pkts * frac)
+    assert taken.pkts + b.pkts == pytest.approx(total_p, rel=1e-9)
+    assert taken.nbytes + b.nbytes == pytest.approx(total_b, rel=1e-9)
+    assert taken.pkts >= 0 and b.pkts >= 0
+
+
+@given(
+    pkts=st.floats(min_value=0.001, max_value=1e6),
+    nbytes=st.floats(min_value=0.001, max_value=1e9),
+    take=st.floats(min_value=0.0, max_value=2e9),
+)
+def test_split_bytes_conserves_mass(pkts, nbytes, take):
+    b = PacketBatch(Flow("f"), pkts, nbytes)
+    taken = b.split_bytes(take)
+    assert taken.nbytes <= min(take, nbytes) + 1e-6
+    assert taken.pkts + b.pkts == pytest.approx(pkts, rel=1e-9)
+    assert taken.nbytes + b.nbytes == pytest.approx(nbytes, rel=1e-9)

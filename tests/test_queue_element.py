@@ -1,0 +1,110 @@
+"""Unit tests for QueueElement (dataplane/queue_element.py)."""
+
+import pytest
+
+from repro.dataplane.queue_element import QueueElement
+from repro.simnet.packet import Flow, PacketBatch
+from repro.simnet.resources import Resource
+
+
+def batch(pkts, size=100.0, flow_id="f", kind="udp", conn_id=""):
+    f = Flow(flow_id, packet_bytes=size, kind=kind, conn_id=conn_id)
+    return PacketBatch(f, pkts, pkts * size)
+
+
+class TestPassiveQueue:
+    def test_push_counts_offered_as_rx(self, sim):
+        q = QueueElement(sim, "q", capacity_pkts=5)
+        q.push(batch(20))
+        assert q.counters.rx_pkts == 20
+
+    def test_overflow_drops_at_location(self, sim):
+        q = QueueElement(sim, "q", capacity_pkts=5, location="myloc")
+        q.push(batch(20))
+        sim.step()
+        assert q.counters.drops["myloc"] == pytest.approx(15)
+
+    def test_snapshot_tx_reflects_consumer_pops(self, sim):
+        q = QueueElement(sim, "q")
+        q.push(batch(10))
+        sim.step()
+        q.queue.pop_pkts(4)
+        snap = q.snapshot()
+        assert snap["rx_pkts"] == 10
+        assert snap["tx_pkts"] == pytest.approx(4)
+        assert snap["queue_pkts"] == pytest.approx(6)
+
+    def test_loss_equals_in_minus_out(self, sim):
+        """The GetPktLoss identity holds on a queue element."""
+        q = QueueElement(sim, "q", capacity_pkts=5)
+        q.push(batch(20))
+        sim.step()
+        q.queue.pop_pkts(100)
+        snap = q.snapshot()
+        loss = snap["rx_pkts"] - snap["tx_pkts"]
+        assert loss == pytest.approx(snap["drops"])
+
+
+class TestIngestCap:
+    def test_line_rate_enforced_per_tick(self, sim):
+        # 8 Mbps -> 1000 bytes per 1 ms tick.
+        q = QueueElement(sim, "q", ingest_bps=8e6)
+        sim.step()  # first begin_tick arms the per-tick line-rate budget
+        accepted = q.push(batch(50, size=100))  # 5000 bytes offered
+        assert accepted.nbytes == pytest.approx(1000)
+        assert q.counters.drops["q"] == pytest.approx(40)
+
+    def test_budget_refreshes_each_tick(self, sim):
+        q = QueueElement(sim, "q", ingest_bps=8e6)
+        q.push(batch(10, size=100))
+        sim.step()
+        accepted = q.push(batch(10, size=100))
+        assert accepted.nbytes == pytest.approx(1000)
+
+    def test_tcp_ingest_drop_notifies_registry(self, sim):
+        lost = []
+
+        class FakeRegistry:
+            def on_segment_lost(self, b):
+                lost.append(b)
+
+        sim.transport_registry = FakeRegistry()
+        q = QueueElement(sim, "q", ingest_bps=8e6)
+        sim.step()
+        q.push(batch(50, size=100, kind="tcp", conn_id="c1"))
+        assert sum(b.nbytes for b in lost) == pytest.approx(4000)
+
+
+class TestDrainMode:
+    def test_drains_to_out(self, sim):
+        got = []
+        q = QueueElement(sim, "q", drain=True, rate_pps=5000)  # 5/tick
+        q.out = got.append
+        q.push(batch(20))
+        sim.run(2e-3)
+        assert 4 <= sum(b.pkts for b in got) <= 11
+
+    def test_drain_does_not_double_count_rx(self, sim):
+        q = QueueElement(sim, "q", drain=True)
+        q.out = lambda b: None
+        q.push(batch(7))
+        sim.run(3e-3)
+        assert q.counters.rx_pkts == pytest.approx(7)
+        assert q.counters.tx_pkts == pytest.approx(7)
+
+    def test_drain_respects_resource_claim(self, sim):
+        cpu = Resource(sim, "cpu", capacity_per_s=1e-2)
+        q = QueueElement(sim, "q", drain=True)
+        q.claim(cpu, per_pkt=1e-6, is_cpu=True)
+        q.out = lambda b: None
+        q.push(batch(1000))
+        sim.run(2e-3)  # commit tick + one processing tick
+        # 1e-5 cpu-s/tick at 1e-6/pkt = 10 pkts per processing tick.
+        assert q.counters.tx_pkts == pytest.approx(10, rel=0.05)
+
+    def test_validation(self, sim):
+        from repro.dataplane.backlog import BacklogQueue
+        from repro.dataplane.params import DataplaneParams
+
+        with pytest.raises(ValueError):
+            BacklogQueue(sim, "m", DataplaneParams(), n_queues=0)

@@ -1,0 +1,230 @@
+"""Unit + property tests for resource arbitration (simnet/resources.py)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.engine import SimError, Simulator
+from repro.simnet.resources import (
+    Resource,
+    SubResource,
+    maxmin_fair,
+    proportional_share,
+)
+
+
+class TestMaxminFair:
+    def test_undersubscribed_everyone_satisfied(self):
+        assert maxmin_fair([1, 2, 3], [1, 1, 1], 10) == [1, 2, 3]
+
+    def test_equal_split_when_all_greedy(self):
+        alloc = maxmin_fair([10, 10], [1, 1], 10)
+        assert alloc == pytest.approx([5, 5])
+
+    def test_small_demand_protected(self):
+        alloc = maxmin_fair([1, 100], [1, 1], 10)
+        assert alloc == pytest.approx([1, 9])
+
+    def test_weights_bias_split(self):
+        alloc = maxmin_fair([100, 100], [3, 1], 8)
+        assert alloc == pytest.approx([6, 2])
+
+    def test_three_way_waterfill(self):
+        alloc = maxmin_fair([2, 5, 100], [1, 1, 1], 12)
+        assert alloc == pytest.approx([2, 5, 5])
+
+    def test_empty(self):
+        assert maxmin_fair([], [], 10) == []
+
+    def test_rejects_negative_demand(self):
+        with pytest.raises(ValueError):
+            maxmin_fair([-1], [1], 10)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            maxmin_fair([1], [0], 10)
+
+
+class TestProportionalShare:
+    def test_undersubscribed_everyone_satisfied(self):
+        assert proportional_share([1, 2], [1, 1], 10) == [1, 2]
+
+    def test_equal_haircut(self):
+        alloc = proportional_share([30, 10], [1, 1], 20)
+        assert alloc == pytest.approx([15, 5])
+
+    def test_weights_scale_demand(self):
+        alloc = proportional_share([10, 10], [3, 1], 8)
+        assert alloc == pytest.approx([6, 2])
+
+    def test_grant_never_exceeds_demand(self):
+        alloc = proportional_share([10, 10], [3, 1], 20)
+        assert alloc == pytest.approx([10, 5])
+
+    def test_zero_total(self):
+        assert proportional_share([0, 0], [1, 1], 5) == [0, 0]
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=8),
+    capacity=st.floats(min_value=0.001, max_value=1e6),
+)
+def test_maxmin_never_exceeds_capacity_or_demand(demands, capacity):
+    weights = [1.0] * len(demands)
+    alloc = maxmin_fair(demands, weights, capacity)
+    assert sum(alloc) <= capacity + 1e-6 or sum(demands) <= capacity
+    for a, d in zip(alloc, demands):
+        assert a <= d + 1e-9
+        assert a >= 0
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=8),
+    capacity=st.floats(min_value=0.001, max_value=1e6),
+)
+def test_maxmin_work_conserving(demands, capacity):
+    """All capacity is used whenever total demand allows it."""
+    alloc = maxmin_fair(demands, [1.0] * len(demands), capacity)
+    expected = min(sum(demands), capacity)
+    assert sum(alloc) == pytest.approx(expected, rel=1e-6, abs=1e-6)
+
+
+@given(
+    demands=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=8),
+    capacity=st.floats(min_value=0.001, max_value=1e6),
+)
+def test_proportional_bounded(demands, capacity):
+    alloc = proportional_share(demands, [1.0] * len(demands), capacity)
+    assert sum(alloc) <= max(capacity, sum(demands)) + 1e-6
+    for a, d in zip(alloc, demands):
+        assert 0 <= a <= d + 1e-9
+
+
+class TestResource:
+    def test_grants_follow_requests(self):
+        sim = Simulator()
+        r = Resource(sim, "cpu", capacity_per_s=1.0)
+        r.request("a", 0.3e-3)
+        r.request("b", 0.4e-3)
+        sim.step()
+        assert r.grant("a") == pytest.approx(0.3e-3)
+        assert r.grant("b") == pytest.approx(0.4e-3)
+
+    def test_requests_accumulate(self):
+        sim = Simulator()
+        r = Resource(sim, "cpu", capacity_per_s=1.0)
+        r.request("a", 0.1e-3)
+        r.request("a", 0.2e-3)
+        sim.step()
+        assert r.grant("a") == pytest.approx(0.3e-3)
+
+    def test_demands_cleared_each_tick(self):
+        sim = Simulator()
+        r = Resource(sim, "cpu", capacity_per_s=1.0)
+        r.request("a", 0.5e-3)
+        sim.step()
+        sim.step()
+        assert r.grant("a") == 0.0
+
+    def test_priority_tiers_strict(self):
+        sim = Simulator()
+        r = Resource(sim, "cpu", capacity_per_s=1.0, policy="proportional")
+        r.request("softirq", 0.6e-3, priority=1)
+        r.request("user", 1.0e-3, priority=0)
+        sim.step()
+        assert r.grant("softirq") == pytest.approx(0.6e-3)
+        assert r.grant("user") == pytest.approx(0.4e-3)
+
+    def test_high_tier_can_starve_low(self):
+        sim = Simulator()
+        r = Resource(sim, "cpu", capacity_per_s=1.0)
+        r.request("hi", 5e-3, priority=1)
+        r.request("lo", 1e-3, priority=0)
+        sim.step()
+        assert r.grant("hi") == pytest.approx(1e-3)
+        assert r.grant("lo") == 0.0
+
+    def test_utilization_tracking(self):
+        sim = Simulator()
+        r = Resource(sim, "cpu", capacity_per_s=1.0)
+        r.request("a", 0.5e-3)
+        sim.step()
+        assert r.last_utilization == pytest.approx(0.5)
+
+    def test_invalid_args(self):
+        sim = Simulator()
+        with pytest.raises(SimError):
+            Resource(sim, "x", capacity_per_s=-1)
+        with pytest.raises(SimError):
+            Resource(sim, "x", capacity_per_s=1, policy="nope")
+        r = Resource(sim, "ok", capacity_per_s=1)
+        with pytest.raises(SimError):
+            r.request("a", -1.0)
+        with pytest.raises(SimError):
+            r.request("a", 1.0, weight=0.0)
+
+
+class TestSubResource:
+    def test_child_capacity_follows_parent_grant(self):
+        sim = Simulator()
+        host = Resource(sim, "host", capacity_per_s=2.0, policy="proportional")
+        vm = SubResource(sim, "vm", parent=host, cap_per_s=1.0)
+        vm.request("app", 0.8e-3)
+        sim.step()
+        assert vm.grant("app") == pytest.approx(0.8e-3)
+
+    def test_allocation_cap_enforced(self):
+        sim = Simulator()
+        host = Resource(sim, "host", capacity_per_s=8.0)
+        vm = SubResource(sim, "vm", parent=host, cap_per_s=1.0)
+        vm.request("app", 5e-3)  # wants 5 cores worth
+        sim.step()
+        assert vm.grant("app") == pytest.approx(1e-3)
+
+    def test_parent_contention_shrinks_child(self):
+        sim = Simulator()
+        host = Resource(sim, "host", capacity_per_s=1.0, policy="proportional")
+        vm = SubResource(sim, "vm", parent=host, cap_per_s=1.0)
+        vm.request("app", 1e-3)
+        host.request("hog", 3e-3)
+        sim.step()
+        assert vm.grant("app") == pytest.approx(0.25e-3)
+        assert host.grant("hog") == pytest.approx(0.75e-3)
+
+    def test_set_allocation(self):
+        sim = Simulator()
+        host = Resource(sim, "host", capacity_per_s=8.0)
+        vm = SubResource(sim, "vm", parent=host, cap_per_s=1.0)
+        vm.set_allocation(2.0)
+        vm.request("app", 5e-3)
+        sim.step()
+        assert vm.grant("app") == pytest.approx(2e-3)
+        with pytest.raises(SimError):
+            vm.set_allocation(-1.0)
+
+
+class TestPhases:
+    def test_phase1_sees_phase0_grants(self):
+        """A component can derive phase-1 demand from phase-0 grants."""
+        from repro.simnet.engine import Component
+
+        sim = Simulator()
+        cpu = Resource(sim, "cpu", capacity_per_s=1.0, phase=0)
+        bus = Resource(sim, "bus", capacity_per_s=1000.0, phase=1)
+        observed = []
+
+        class TwoPhase(Component):
+            def begin_tick(self, sim):
+                cpu.request("me", 0.4e-3)
+
+            def mid_tick(self, sim):
+                g = cpu.grant("me")
+                observed.append(g)
+                bus.request("me", g * 1000)
+
+            def process_tick(self, sim):
+                observed.append(bus.grant("me"))
+
+        sim.add(TwoPhase("tp"))
+        sim.step()
+        assert observed[0] == pytest.approx(0.4e-3)
+        assert observed[1] == pytest.approx(0.4)

@@ -1,0 +1,102 @@
+"""Smoke tests for the experiment scenario builders.
+
+The benchmarks run each scenario at paper scale; these tests only check
+that every builder constructs, runs briefly, and returns well-formed
+results — fast enough for the regular test suite.
+"""
+
+import pytest
+
+from repro.scenarios.common import Harness
+
+
+class TestHarness:
+    def test_machine_plus_agent_plus_controller(self):
+        h = Harness()
+        machine = h.add_machine("m1")
+        assert h.controller.machines() == ["m1"]
+        assert h.agents["m1"].element_ids()
+        h.advance(0.01)
+        assert h.sim.now == pytest.approx(0.01)
+
+    def test_external_tcp_endpoints(self):
+        from repro.middleboxes.proxy import Proxy
+        from repro.middleboxes.base import OutputPort
+
+        h = Harness()
+        machine = h.add_machine("m1")
+        sink = h.external_host("sink")
+        vm = machine.add_vm("v1", vcpu_cores=1.0, vnic_bps=100e6)
+        proxy = Proxy(h.sim, vm, "p")
+        out = h.connect_app_to_external(proxy, sink, conn_id="out")
+        proxy.add_output(OutputPort(out))
+        src = h.connect_external_to_app("client", proxy, machine, rate_bps=20e6)
+        h.advance(1.0)
+        assert sink.rx_bytes("flow:out") > 1e6
+
+    def test_rate_change_and_stop(self):
+        from repro.middleboxes.http import HttpServer
+
+        h = Harness()
+        machine = h.add_machine("m1")
+        vm = machine.add_vm("v1")
+        app = HttpServer(h.sim, vm, "a", cpu_per_byte=1e-9)
+        src = h.connect_external_to_app("c", app, machine, rate_bps=10e6)
+        h.advance(0.3)
+        src.stop()
+        mark = src.total_written
+        h.advance(0.3)
+        assert src.total_written == mark
+
+
+class TestScenarioBuilders:
+    def test_fig03_point(self):
+        from repro.scenarios.fig03_membw_tradeoff import run_point
+
+        p = run_point(0.0)
+        assert p.network_gbps > 1.0
+        assert p.achieved_mem_gbytes_per_s == 0.0
+
+    def test_fig09_shapes(self):
+        from repro.scenarios.fig09_response_time import run
+
+        res = run(n_samples=50)
+        assert set(res.samples_us) == {
+            "Agent-Qemu",
+            "Agent-Backlog",
+            "Agent-VM",
+            "Agent-pNIC",
+            "Agent-TUN",
+            "Agent-Controller",
+        }
+        assert res.median_us("Agent-pNIC") > res.median_us("Agent-Backlog")
+
+    def test_fig12_case_validation(self):
+        from repro.scenarios.fig12_propagation import build_and_run
+
+        with pytest.raises(ValueError):
+            build_and_run("no_such_case")
+
+    def test_fig12_quick_case(self):
+        from repro.scenarios.fig12_propagation import build_and_run
+
+        res = build_and_run("underloaded_client", settle_s=4.0)
+        assert "client" in res.report.root_causes
+
+    def test_table1_scenario_validation(self):
+        from repro.scenarios.table1_rulebook import run_scenario
+
+        with pytest.raises(ValueError):
+            run_scenario("nonsense")
+
+    def test_table1_quick_scenario(self):
+        from repro.scenarios.table1_rulebook import run_scenario
+
+        row = run_scenario("outgoing_small_packets", duration_s=1.0)
+        assert row.dominant_class == "pcpu_backlog"
+
+    def test_fig16_analytic(self):
+        from repro.scenarios.overhead import run_fig16
+
+        points = run_fig16(frequencies_hz=(1, 10))
+        assert points[1][1] == pytest.approx(10 * points[0][1])

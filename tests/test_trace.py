@@ -1,0 +1,104 @@
+"""Unit tests for time-series tracing (simnet/trace.py)."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.trace import Series, Tracer
+
+
+class TestSeries:
+    def test_deltas(self):
+        s = Series()
+        for t, v in [(1, 10), (2, 15), (3, 25)]:
+            s.append(t, v)
+        d = s.deltas()
+        assert d.values == [5, 10]
+        assert d.times == [2, 3]
+
+    def test_rates(self):
+        s = Series()
+        s.append(0.0, 0.0)
+        s.append(2.0, 10.0)
+        r = s.rates()
+        assert r.values == [5.0]
+
+    def test_window(self):
+        s = Series()
+        for t in range(10):
+            s.append(float(t), float(t))
+        w = s.window(3, 6)
+        assert w.times == [3, 4, 5, 6]
+
+    def test_mean_and_last(self):
+        s = Series()
+        for v in (2.0, 4.0, 6.0):
+            s.append(0.0, v)
+        assert s.mean() == 4.0
+        assert s.last() == 6.0
+        assert Series().mean() == 0.0
+        with pytest.raises(ValueError):
+            Series().last()
+
+    def test_len(self):
+        s = Series()
+        s.append(0, 1)
+        assert len(s) == 1
+
+
+class TestTracer:
+    def test_samples_on_period(self):
+        sim = Simulator(tick=1e-3)
+        tracer = Tracer(sim, period=0.01)
+        counter = {"x": 0.0}
+
+        def sampler():
+            counter["x"] += 1.0
+            return {"value": counter["x"]}
+
+        tracer.watch("src", sampler)
+        sim.run(0.1)
+        series = tracer.series("src", "value")
+        assert len(series) == pytest.approx(10, abs=1)
+
+    def test_rate_series(self):
+        sim = Simulator(tick=1e-3)
+        tracer = Tracer(sim, period=0.01)
+        state = {"bytes": 0.0}
+
+        def sampler():
+            state["bytes"] += 100.0  # grows every sample
+            return {"bytes": state["bytes"]}
+
+        tracer.watch("src", sampler)
+        sim.run(0.1)
+        rates = tracer.rate_series("src", "bytes")
+        assert all(r == pytest.approx(100.0 / 0.01) for r in rates.values)
+
+    def test_duplicate_source_rejected(self):
+        sim = Simulator()
+        tracer = Tracer(sim, period=0.1)
+        tracer.watch("a", lambda: {})
+        with pytest.raises(ValueError):
+            tracer.watch("a", lambda: {})
+
+    def test_unknown_series(self):
+        sim = Simulator()
+        tracer = Tracer(sim, period=0.1)
+        with pytest.raises(KeyError):
+            tracer.series("ghost", "x")
+        assert not tracer.has("ghost", "x")
+
+    def test_watch_element(self, sim_with_transport):
+        from repro.dataplane.machine import PhysicalMachine
+
+        sim = sim_with_transport
+        tracer = Tracer(sim, period=0.01)
+        machine = PhysicalMachine(sim, "m1")
+        tracer.watch_element(machine.pnic_rx)
+        sim.run(0.05)
+        assert tracer.has("pnic@m1", "rx_bytes")
+
+    def test_bad_period(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Tracer(sim, period=0.0)

@@ -1,0 +1,194 @@
+"""Unit tests for TCP/UDP transport (repro/transport)."""
+
+import pytest
+
+from repro.simnet.engine import SimError, Simulator
+from repro.simnet.packet import Flow, PacketBatch
+from repro.transport.registry import TransportRegistry
+from repro.transport.sockets import AppSocket
+from repro.transport.tcp import Connection
+from repro.transport.udp import UdpStream
+
+
+def make_conn(cap=1000.0, tx_space=None):
+    sent = []
+    flow = Flow("f", kind="tcp", conn_id="c1")
+    sock = AppSocket("rcv", capacity_bytes=cap)
+    conn = Connection("c1", flow, sock, tx_submit=sent.append, tx_space=tx_space)
+    return conn, sock, sent
+
+
+class TestAppSocket:
+    def test_deliver_and_read(self):
+        sock = AppSocket("s", capacity_bytes=1000)
+        sock.deliver(PacketBatch(Flow("f"), 2, 300))
+        sock.commit()
+        out = sock.read(1000)
+        assert sum(b.nbytes for b in out) == 300
+
+    def test_free_bytes_counts_staged(self):
+        sock = AppSocket("s", capacity_bytes=1000)
+        sock.deliver(PacketBatch(Flow("f"), 1, 400))
+        assert sock.free_bytes == pytest.approx(600)
+
+
+class TestConnectionWindow:
+    def test_window_is_free_space_minus_inflight(self):
+        conn, sock, _ = make_conn(cap=1000)
+        assert conn.window_bytes() == pytest.approx(1000)
+        conn.write(300)
+        assert conn.inflight_bytes == pytest.approx(300)
+        assert conn.window_bytes() == pytest.approx(700)
+
+    def test_write_bounded_by_window(self):
+        conn, _, sent = make_conn(cap=500)
+        written = conn.write(2000)
+        assert written == pytest.approx(500)
+        assert sum(b.nbytes for b in sent) == pytest.approx(500)
+
+    def test_window_closes_completely(self):
+        conn, _, _ = make_conn(cap=400)
+        conn.write(400)
+        assert conn.write(100) == 0.0
+
+    def test_delivery_reopens_window_after_read(self):
+        conn, sock, _ = make_conn(cap=400)
+        conn.write(400)
+        # segments arrive...
+        conn.deliver(PacketBatch(conn.flow, 400 / 1500, 400))
+        sock.commit()
+        # window still closed: buffer full, nothing read yet
+        assert conn.window_bytes() == pytest.approx(0.0)
+        sock.read(400)
+        assert conn.window_bytes() == pytest.approx(400)
+
+    def test_tx_space_limits_writes(self):
+        conn, _, _ = make_conn(cap=10000, tx_space=lambda: 100.0)
+        assert conn.app_writable_bytes() == pytest.approx(100)
+
+    def test_write_nonpositive_noop(self):
+        conn, _, sent = make_conn()
+        assert conn.write(0) == 0.0
+        assert conn.write(-5) == 0.0
+        assert sent == []
+
+
+class TestRetransmission:
+    def test_lost_segment_recredited(self):
+        conn, _, sent = make_conn(cap=1000)
+        conn.write(600)
+        lost = PacketBatch(conn.flow, 0.2, 300)
+        conn.on_segment_lost(lost)
+        assert conn.inflight_bytes == pytest.approx(300)
+        assert conn.retransmit_pending == pytest.approx(300)
+        assert conn.total_lost_bytes == pytest.approx(300)
+
+    def test_pump_retransmits_within_window(self):
+        conn, _, sent = make_conn(cap=1000)
+        conn.write(600)
+        conn.on_segment_lost(PacketBatch(conn.flow, 0.4, 600))
+        sent.clear()
+        pumped = conn.pump_retransmits()
+        assert pumped == pytest.approx(600)
+        assert sum(b.nbytes for b in sent) == pytest.approx(600)
+        assert conn.retransmit_pending == 0.0
+
+    def test_retransmit_debt_blocks_new_writes(self):
+        conn, _, _ = make_conn(cap=1000)
+        conn.write(1000)
+        conn.on_segment_lost(PacketBatch(conn.flow, 1000 / 1500, 1000))
+        # All window budget is owed to retransmits.
+        assert conn.app_writable_bytes() == 0.0
+
+    def test_goodput_accounting(self):
+        conn, sock, _ = make_conn(cap=1000)
+        conn.write(500)
+        conn.deliver(PacketBatch(conn.flow, 500 / 1500, 500))
+        assert conn.total_delivered_bytes == pytest.approx(500)
+        assert conn.total_app_bytes == pytest.approx(500)
+
+    def test_flow_validation(self):
+        sock = AppSocket("s")
+        with pytest.raises(ValueError):
+            Connection("c1", Flow("f", kind="udp"), sock, tx_submit=lambda b: None)
+        with pytest.raises(ValueError):
+            Connection(
+                "c1", Flow("f", kind="tcp", conn_id="other"), sock, lambda b: None
+            )
+
+
+class TestUdpStream:
+    def test_fire_and_forget(self):
+        sent = []
+        s = UdpStream(Flow("f", kind="udp"), tx_submit=sent.append)
+        assert s.send_bytes(3000) == 3000
+        assert sum(b.nbytes for b in sent) == 3000
+
+    def test_tx_space_blocks(self):
+        s = UdpStream(
+            Flow("f", kind="udp"), tx_submit=lambda b: None, tx_space=lambda: 64.0
+        )
+        assert s.send_bytes(1000) == pytest.approx(64)
+
+    def test_send_pkts_respects_space(self):
+        s = UdpStream(
+            Flow("f", kind="udp", packet_bytes=100),
+            tx_submit=lambda b: None,
+            tx_space=lambda: 250.0,
+        )
+        assert s.send_pkts(10) == pytest.approx(2.5)
+
+    def test_rejects_tcp_flow(self):
+        with pytest.raises(ValueError):
+            UdpStream(Flow("f", kind="tcp", conn_id="c"), tx_submit=lambda b: None)
+
+
+class TestRegistry:
+    def test_single_registry_per_sim(self):
+        sim = Simulator()
+        TransportRegistry(sim)
+        with pytest.raises(SimError):
+            TransportRegistry(sim)
+
+    def test_register_and_deliver(self):
+        sim = Simulator()
+        reg = TransportRegistry(sim)
+        conn, sock, _ = make_conn()
+        reg.register(conn)
+        conn.write(200)
+        ok = reg.deliver(PacketBatch(conn.flow, 0.1, 200))
+        assert ok
+        assert conn.total_delivered_bytes == pytest.approx(200)
+
+    def test_unknown_conn_not_delivered(self):
+        sim = Simulator()
+        reg = TransportRegistry(sim)
+        flow = Flow("x", kind="tcp", conn_id="ghost")
+        assert not reg.deliver(PacketBatch(flow, 1, 1500))
+
+    def test_duplicate_conn_rejected(self):
+        sim = Simulator()
+        reg = TransportRegistry(sim)
+        conn, _, _ = make_conn()
+        reg.register(conn)
+        with pytest.raises(SimError):
+            reg.register(conn)
+
+    def test_registry_pumps_retransmits_each_tick(self):
+        sim = Simulator()
+        reg = TransportRegistry(sim)
+        conn, _, sent = make_conn(cap=1000)
+        reg.register(conn)
+        conn.write(500)
+        conn.on_segment_lost(PacketBatch(conn.flow, 0.3, 500))
+        sent.clear()
+        sim.step()
+        assert sum(b.nbytes for b in sent) == pytest.approx(500)
+
+    def test_unregister(self):
+        sim = Simulator()
+        reg = TransportRegistry(sim)
+        conn, _, _ = make_conn()
+        reg.register(conn)
+        reg.unregister("c1")
+        assert reg.lookup("c1") is None

@@ -1,0 +1,110 @@
+"""Property tests for the TCP transport invariants.
+
+The whole propagation analysis rests on one invariant: the receive
+socket never overflows, because every sender's window accounts for the
+socket's total in-flight bytes.  These tests drive random interleavings
+of writes, deliveries, losses and reads and check the invariant and the
+byte-conservation ledger.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.packet import Flow, PacketBatch
+from repro.transport.sockets import AppSocket
+from repro.transport.tcp import Connection
+
+
+class Pipe:
+    """A lossy in-order pipe between one connection's endpoints."""
+
+    def __init__(self, conn: Connection) -> None:
+        self.conn = conn
+        self.in_transit = []
+
+    def submit(self, batch: PacketBatch) -> None:
+        self.in_transit.append(batch)
+
+    def step(self, deliver: bool) -> None:
+        if not self.in_transit:
+            return
+        batch = self.in_transit.pop(0)
+        if deliver:
+            self.conn.deliver(batch)
+        else:
+            self.conn.on_segment_lost(batch)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["write", "deliver", "lose", "read", "retx"]),
+            st.floats(min_value=1.0, max_value=5e5),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    n_conns=st.integers(min_value=1, max_value=3),
+    cap=st.floats(min_value=1e3, max_value=1e6),
+)
+def test_shared_socket_never_overflows(ops, n_conns, cap):
+    sock = AppSocket("rcv", capacity_bytes=cap)
+    pipes = []
+    for i in range(n_conns):
+        flow = Flow(f"f{i}", kind="tcp", conn_id=f"c{i}")
+        conn = Connection(f"c{i}", flow, sock, tx_submit=lambda b: None)
+        pipe = Pipe(conn)
+        conn.tx_submit = pipe.submit
+        pipes.append(pipe)
+
+    total_written = 0.0
+    for i, (op, amount) in enumerate(ops):
+        pipe = pipes[i % n_conns]
+        if op == "write":
+            total_written += pipe.conn.write(amount)
+        elif op == "deliver":
+            pipe.step(deliver=True)
+        elif op == "lose":
+            pipe.step(deliver=False)
+        elif op == "retx":
+            pipe.conn.pump_retransmits()
+        elif op == "read":
+            sock.commit()
+            sock.read(amount)
+        # Invariant: the socket buffer never exceeds its capacity.
+        assert sock.buffer.nbytes <= cap + 1e-6
+        # Invariant: socket-level inflight is the sum of per-conn inflight.
+        assert sock.inflight_total == pytest.approx(
+            sum(p.conn.inflight_bytes for p in pipes), abs=1e-6
+        )
+
+    # Ledger: everything written is delivered, lost-pending, in flight,
+    # or was lost and re-credited (retransmit debt replaces in-flight).
+    for pipe in pipes:
+        conn = pipe.conn
+        in_pipe = sum(b.nbytes for b in pipe.in_transit)
+        assert conn.inflight_bytes == pytest.approx(in_pipe, abs=1e-6)
+        assert conn.total_app_bytes <= total_written + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    writes=st.lists(
+        st.floats(min_value=1.0, max_value=2e5), min_size=1, max_size=20
+    ),
+    cap=st.floats(min_value=1e3, max_value=5e5),
+)
+def test_window_sums_to_at_most_capacity(writes, cap):
+    """No sequence of writes can put more than the socket capacity in
+    flight, no matter how it is sliced."""
+    sock = AppSocket("rcv", capacity_bytes=cap)
+    sent = []
+    flow = Flow("f", kind="tcp", conn_id="c")
+    conn = Connection("c", flow, sock, tx_submit=sent.append)
+    for amount in writes:
+        conn.write(amount)
+    assert conn.inflight_bytes <= cap + 1e-6
+    assert sum(b.nbytes for b in sent) == pytest.approx(
+        conn.inflight_bytes, abs=1e-6
+    )

@@ -1,0 +1,114 @@
+"""Unit tests for the virtual switch (dataplane/vswitch.py)."""
+
+import pytest
+
+from repro.dataplane.vswitch import VirtualSwitch
+from repro.simnet.buffers import Buffer
+from repro.simnet.engine import SimError, Simulator
+from repro.simnet.packet import Flow, PacketBatch
+
+
+@pytest.fixture
+def vs(sim):
+    return VirtualSwitch(sim, "vs", machine="m1")
+
+
+def b(flow_id="f", tenant="", dst_vm="", pkts=1.0):
+    return PacketBatch(
+        Flow(flow_id, tenant_id=tenant, dst_vm=dst_vm), pkts, pkts * 1500
+    )
+
+
+class TestConfiguration:
+    def test_duplicate_port_rejected(self, vs):
+        vs.add_port("p1", lambda x: None)
+        with pytest.raises(SimError):
+            vs.add_port("p1", lambda x: None)
+
+    def test_rule_needs_existing_port(self, vs):
+        with pytest.raises(SimError, match="unknown port"):
+            vs.add_rule("r1", "nope")
+
+    def test_duplicate_rule_rejected(self, vs):
+        vs.add_port("p1", lambda x: None)
+        vs.add_rule("r1", "p1")
+        with pytest.raises(SimError, match="duplicate"):
+            vs.add_rule("r1", "p1")
+
+    def test_remove_rule(self, vs):
+        vs.add_port("p1", lambda x: None)
+        vs.add_rule("r1", "p1")
+        vs.remove_rule("r1")
+        with pytest.raises(SimError):
+            vs.rule("r1")
+
+
+class TestForwarding:
+    def test_exact_flow_match(self, vs):
+        got = []
+        vs.add_port("p1", got.append)
+        vs.add_rule("r1", "p1", flow_id="f1")
+        vs.submit(b("f1"))
+        assert len(got) == 1
+
+    def test_dst_vm_match(self, vs):
+        got = []
+        vs.add_port("tun:vm1", got.append)
+        vs.add_rule("to-vm1", "tun:vm1", dst_vm="vm1")
+        vs.submit(b("any", dst_vm="vm1"))
+        assert len(got) == 1
+
+    def test_specificity_wins_over_wildcard(self, vs):
+        wild, exact = [], []
+        vs.add_port("wild", wild.append)
+        vs.add_port("exact", exact.append)
+        vs.add_rule("default", "wild")
+        vs.add_rule("specific", "exact", flow_id="f1")
+        vs.submit(b("f1"))
+        assert exact and not wild
+
+    def test_priority_beats_specificity(self, vs):
+        hi, lo = [], []
+        vs.add_port("hi", hi.append)
+        vs.add_port("lo", lo.append)
+        vs.add_rule("specific", "lo", flow_id="f1", priority=0)
+        vs.add_rule("override", "hi", priority=10)
+        vs.submit(b("f1"))
+        assert hi and not lo
+
+    def test_no_rule_drops(self, vs):
+        vs.submit(b("orphan"))
+        assert vs.counters.drops["vs.no_rule"] == 1
+
+    def test_tenant_match(self, vs):
+        got = []
+        vs.add_port("p", got.append)
+        vs.add_rule("tenant-rule", "p", tenant_id="acme")
+        vs.submit(b("f", tenant="acme"))
+        vs.submit(b("g", tenant="other"))
+        assert len(got) == 1
+
+
+class TestRuleStats:
+    def test_per_rule_counters(self, vs):
+        vs.add_port("p", lambda x: None)
+        r = vs.add_rule("r1", "p", flow_id="f1")
+        vs.submit(b("f1", pkts=3))
+        vs.submit(b("f1", pkts=2))
+        assert r.pkts == 5
+        assert r.nbytes == 7500
+
+    def test_rule_stats_in_snapshot(self, vs):
+        vs.add_port("p", lambda x: None)
+        vs.add_rule("r1", "p", flow_id="f1")
+        vs.submit(b("f1"))
+        snap = vs.snapshot()
+        assert snap["rule.r1.pkts"] == 1
+
+    def test_buffer_port_accepts(self, vs, sim):
+        buf = Buffer("down")
+        vs.add_port("p", buf)
+        vs.add_rule("r1", "p")
+        vs.submit(b("f", pkts=4))
+        assert vs.counters.tx_pkts == pytest.approx(4)
+        assert buf.pkts == pytest.approx(4)
