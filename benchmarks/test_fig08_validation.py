@@ -7,8 +7,6 @@ injected fault produces a drop signature orders of magnitude above that
 noise floor, at the location Table 1 predicts.
 """
 
-import pytest
-
 from repro.core.rulebook import classify_location
 from repro.scenarios.fig08_validation import build_and_run
 

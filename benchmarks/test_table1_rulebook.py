@@ -5,7 +5,7 @@ to the induced resource through the rule book, with the correct
 contention-vs-bottleneck scope.
 """
 
-from repro.scenarios.table1_rulebook import EXPECTED, run_all
+from repro.scenarios.table1_rulebook import run_all
 
 
 def test_table1_rulebook_construction(benchmark, paper_report):

@@ -10,7 +10,7 @@ Algorithm 2 needs.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.cluster.topology import VirtualNetwork
 from repro.middleboxes.base import App, OutputPort

@@ -13,7 +13,7 @@ A :class:`VirtualNetwork` records, for one tenant:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 
 @dataclass

@@ -2,8 +2,16 @@
 
 One agent runs on each physical server.  It discovers the machine's
 dataplane elements (plus any registered middlebox apps), owns one
-collection channel per element, and answers queries by pulling counters
-and normalizing them into the unified :class:`StatRecord` format.
+collection channel per element, and normalizes counters into the
+unified :class:`StatRecord` format.
+
+Collection is streaming: the agent sweeps every channel on a cadence
+(:meth:`start_polling`, or implicitly when a collector pulls through)
+and appends typed snapshots to its :class:`TimeSeriesStore`; the
+controller drains only the snapshots that changed since its last
+acknowledged sequence numbers (:meth:`collect_delta`).  The legacy
+per-query pull path (:meth:`query`) remains for tests and tools that
+need synchronous pull semantics.
 
 The agent keeps its own bookkeeping — reads per channel, simulated
 response latency, CPU consumed — because the paper evaluates exactly
@@ -13,12 +21,18 @@ usage as a function of poll frequency).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.channels import Channel
+from repro.core.counters import CounterSnapshot
 from repro.core.records import StatRecord
+from repro.core.store import TimeSeriesStore
 from repro.simnet.element import Element
-from repro.simnet.engine import Simulator
+from repro.simnet.engine import PeriodicHandle, Simulator
+
+#: Default sweep cadence when polling is enabled without a period.  10 Hz
+#: is the rate the diagnostics need (Figure 16 shows it costs < 0.5% CPU).
+DEFAULT_POLL_PERIOD_S = 0.1
 
 
 class Agent:
@@ -30,8 +44,12 @@ class Agent:
         self.name = name if name is not None else f"agent@{machine.name}"
         self._extra: Dict[str, Element] = {}
         self._channels: Dict[str, Channel] = {}
+        self.store = TimeSeriesStore()
         self.total_cpu_s = 0.0
         self.total_queries = 0
+        self.total_polls = 0
+        self._poll_handle: Optional[PeriodicHandle] = None
+        self.poll_period_s: Optional[float] = None
 
     # -- element discovery -------------------------------------------------------
 
@@ -118,6 +136,74 @@ class Agent:
         self.total_cpu_s += cpu
         self.total_queries += 1
         return records, worst_latency
+
+    # -- streaming collection (snapshot -> store -> delta batch) -----------------------
+
+    def poll_once(self) -> Tuple[int, float]:
+        """Sweep every channel into the store; returns (stored, latency).
+
+        One sweep costs exactly what one full-machine :meth:`query` costs
+        (same channels, same latency draws, same CPU accounting), so the
+        Figure 9/16 overhead model carries over unchanged.  Snapshots of
+        elements whose state did not change are delta-compressed away by
+        the store.
+        """
+        now = self.sim.now
+        stored = 0
+        worst_latency = 0.0
+        cpu = 0.0
+        elements = self.elements()
+        for eid in sorted(elements):
+            chan = self._channel(elements[eid])
+            snap, latency = chan.read_versioned(now)
+            if self.store.append(snap):
+                stored += 1
+            worst_latency = max(worst_latency, latency)
+            cpu += chan.spec.cpu_cost_s
+        self.total_cpu_s += cpu
+        self.total_polls += 1
+        return stored, worst_latency
+
+    def start_polling(self, period_s: float = DEFAULT_POLL_PERIOD_S) -> PeriodicHandle:
+        """Poll all channels every ``period_s`` simulated seconds.
+
+        The first sweep happens immediately so the store is never empty
+        while a poller is active.  Returns the cancel handle (also kept
+        internally for :meth:`stop_polling`).
+        """
+        if period_s <= 0:
+            raise ValueError(f"poll period must be positive: {period_s!r}")
+        if self._poll_handle is not None and self._poll_handle.active:
+            raise RuntimeError(f"agent {self.name!r} is already polling")
+        self.poll_period_s = period_s
+        self.poll_once()
+        self._poll_handle = self.sim.schedule_every(period_s, self.poll_once)
+        return self._poll_handle
+
+    def stop_polling(self) -> None:
+        if self._poll_handle is not None:
+            self._poll_handle.cancel()
+            self._poll_handle = None
+            self.poll_period_s = None
+
+    @property
+    def polling(self) -> bool:
+        return self._poll_handle is not None and self._poll_handle.active
+
+    def collect_delta(
+        self, acked: Optional[Mapping[str, int]] = None
+    ) -> Tuple[List[CounterSnapshot], Dict[str, int]]:
+        """Snapshots newer than the collector's ack vector, plus cursor.
+
+        This is the agent half of the ``BATCH_DELTA`` exchange.  Without
+        an active cadence poller the agent pulls through (one sweep) so
+        on-demand collectors still observe current state; with a poller
+        running the call only drains the store.
+        """
+        if not self.polling:
+            self.poll_once()
+        batch = self.store.changed_since(acked if acked is not None else {})
+        return batch, self.store.cursor()
 
     # -- overhead introspection (Figures 9 and 16) -------------------------------------
 

@@ -19,6 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
+from repro.core.counters import CounterSnapshot
 from repro.core.records import StatRecord
 from repro.simnet.element import (
     KIND_GUEST,
@@ -96,8 +97,23 @@ class Channel:
         )
         if attrs is not None:
             record = record.subset(attrs)
+        latency = self._account_read()
+        return record, latency
+
+    def read_versioned(self, timestamp: float) -> Tuple[CounterSnapshot, float]:
+        """Fetch a typed, versioned snapshot over the same access path.
+
+        Identical latency/CPU accounting to :meth:`read` — the cost is a
+        property of the access path, not of the record format — so the
+        Figure 9/16 overhead results are unchanged when the agent store
+        polls through this instead of per-query pulls.
+        """
+        snap = self.element.snapshot_versioned(timestamp)
+        return snap, self._account_read()
+
+    def _account_read(self) -> float:
         latency = self.sample_latency()
         self.reads += 1
         self.total_latency_s += latency
         self.total_cpu_s += self.spec.cpu_cost_s
-        return record, latency
+        return latency

@@ -2,19 +2,30 @@
 
 The controller sits between diagnostic applications and the per-server
 agents.  It holds the tenant registry (``vNet[tenantID]``), resolves a
-logical element to its physical location, forwards the query to the
-right agent, and hands the records back.  Agents are reached through an
-``AgentHandle`` — in-process for simulations and tests, or the TCP
-client in :mod:`repro.core.net` for the real split-process deployment.
+logical element to its physical location, and answers statistics
+questions from a per-agent **mirror store**: a controller-side replica
+of each agent's time-series store, kept current by delta-batched
+``BATCH_DELTA`` exchanges that ship only counters changed since the
+controller's last acknowledged sequence numbers.
+
+Reads (``GetAttr`` and the other Figure-6 routines) are O(1) window
+lookups against the mirror and issue no agent RPC.  Collection is the
+separate, batched :meth:`Controller.refresh` step — called on a cadence
+by long-running deployments, or explicitly by tests and tools that need
+pull semantics.  Agents are reached through an ``AgentHandle`` —
+in-process for simulations and tests, or the TCP client in
+:mod:`repro.core.net` for the real split-process deployment.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Protocol
+from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 
 from repro.cluster.topology import Tenant, VirtualNetwork
 from repro.core.agent import Agent
+from repro.core.counters import CounterSnapshot, CounterWindow
 from repro.core.records import StatRecord
+from repro.core.store import StoreError, TimeSeriesStore
 
 
 class AgentHandle(Protocol):
@@ -30,6 +41,31 @@ class AgentHandle(Protocol):
 
     def element_ids(self) -> List[str]: ...
 
+    def collect_delta(
+        self, acked: Optional[Dict[str, int]] = None
+    ) -> Tuple[List[CounterSnapshot], Dict[str, int]]: ...
+
+
+class AgentMirror:
+    """Controller-side replica of one agent's time-series store."""
+
+    def __init__(self, machine: str, handle: AgentHandle) -> None:
+        self.machine = machine
+        self.handle = handle
+        self.store = TimeSeriesStore()
+        self.acked: Dict[str, int] = {}
+        self.syncs = 0
+        self.snapshots_received = 0
+
+    def sync(self) -> int:
+        """One BATCH_DELTA exchange; returns snapshots received."""
+        batch, cursor = self.handle.collect_delta(self.acked)
+        self.store.extend(batch)
+        self.acked = dict(cursor)
+        self.syncs += 1
+        self.snapshots_received += len(batch)
+        return len(batch)
+
 
 class Controller:
     """Routes statistics requests between operators and agents."""
@@ -37,6 +73,7 @@ class Controller:
     def __init__(self, name: str = "perfsight-controller") -> None:
         self.name = name
         self._agents: Dict[str, AgentHandle] = {}
+        self._mirrors: Dict[str, AgentMirror] = {}
         self._tenants: Dict[str, Tenant] = {}
 
     # -- registration -----------------------------------------------------------------
@@ -45,6 +82,7 @@ class Controller:
         if machine_name in self._agents:
             raise ValueError(f"machine {machine_name!r} already has an agent")
         self._agents[machine_name] = agent
+        self._mirrors[machine_name] = AgentMirror(machine_name, agent)
 
     def register_local_agent(self, agent: Agent) -> None:
         """Convenience for in-process agents."""
@@ -72,8 +110,44 @@ class Controller:
         except KeyError:
             raise KeyError(f"no agent registered for machine {machine_name!r}") from None
 
+    def mirror_for(self, machine_name: str) -> AgentMirror:
+        try:
+            return self._mirrors[machine_name]
+        except KeyError:
+            raise KeyError(f"no agent registered for machine {machine_name!r}") from None
+
     def machines(self) -> List[str]:
         return sorted(self._agents)
+
+    # -- collection (the BATCH_DELTA plane) ------------------------------------------------
+
+    def refresh(self, machine_name: Optional[str] = None) -> int:
+        """Pull deltas into the mirror(s); returns snapshots received.
+
+        This is the explicit collection step — and the pull-semantics
+        escape hatch for tests: after ``refresh()`` the mirrors reflect
+        agent state as of now.  One batched exchange per machine,
+        regardless of how many elements changed.
+        """
+        machines = [machine_name] if machine_name is not None else self.machines()
+        return sum(self.mirror_for(m).sync() for m in machines)
+
+    def _locate(self, tenant_id: str, element_logical: str) -> Tuple[str, str]:
+        return self.vnet(tenant_id).locate(element_logical)
+
+    def mirror_latest(self, machine: str, element_id: str) -> CounterSnapshot:
+        """Latest mirrored snapshot, lazily refreshing on first miss."""
+        mirror = self.mirror_for(machine)
+        try:
+            return mirror.store.latest(element_id)
+        except StoreError:
+            mirror.sync()
+        try:
+            return mirror.store.latest(element_id)
+        except StoreError:
+            raise KeyError(
+                f"machine {machine!r} has no element {element_id!r}"
+            ) from None
 
     # -- the GetAttr primitive (Figure 6) --------------------------------------------------
 
@@ -83,11 +157,69 @@ class Controller:
         element_logical: str,
         attrs: Optional[Iterable[str]] = None,
     ) -> StatRecord:
-        """``vNet[tenantID].elem[elementID].attr[attributes]``."""
-        machine, element_id = self.vnet(tenant_id).locate(element_logical)
-        agent = self.agent_for(machine)
-        records = agent.query([element_id], attrs)
-        return records[0]
+        """``vNet[tenantID].elem[elementID].attr[attributes]``.
+
+        Answered from the controller mirror — no agent RPC.  An element
+        never seen before triggers one lazy refresh of its machine's
+        mirror so cold starts behave like the old pull path.
+        """
+        machine, element_id = self._locate(tenant_id, element_logical)
+        return self.mirror_latest(machine, element_id).to_record(attrs)
+
+    def window(
+        self,
+        tenant_id: str,
+        element_logical: str,
+        t0: float,
+        t1: float,
+    ) -> CounterWindow:
+        """The element's mirrored activity over ``[t0, t1]``."""
+        machine, element_id = self._locate(tenant_id, element_logical)
+        self.mirror_latest(machine, element_id)  # lazy-populate on miss
+        return self.mirror_for(machine).store.window(element_id, t0, t1)
+
+    def machine_window(
+        self, machine_name: str, element_id: str, t0: float, t1: float
+    ) -> CounterWindow:
+        """Mirror window lookup by physical element id (diagnostics)."""
+        self.mirror_latest(machine_name, element_id)
+        return self.mirror_for(machine_name).store.window(element_id, t0, t1)
+
+    # -- O(1) Figure-6 routines over the trailing mirror window ----------------------------
+
+    def get_throughput(
+        self, tenant_id: str, element_logical: str, attr: str = "rx_bytes",
+        window_s: float = 1.0,
+    ) -> float:
+        """Average throughput over the trailing window, bytes/second."""
+        machine, element_id = self._locate(tenant_id, element_logical)
+        self.mirror_latest(machine, element_id)
+        win = self.mirror_for(machine).store.window_ending_now(element_id, window_s)
+        return win.rate(attr)
+
+    def get_pkt_loss(
+        self, tenant_id: str, element_logical: str,
+        in_attr: str = "rx_pkts", out_attr: str = "tx_pkts",
+        window_s: float = 1.0,
+    ) -> float:
+        """Packets lost within the element over the trailing window."""
+        machine, element_id = self._locate(tenant_id, element_logical)
+        self.mirror_latest(machine, element_id)
+        win = self.mirror_for(machine).store.window_ending_now(element_id, window_s)
+        return win.pkt_loss(in_attr, out_attr)
+
+    def get_avg_pkt_size(
+        self, tenant_id: str, element_logical: str,
+        bytes_attr: str = "rx_bytes", pkts_attr: str = "rx_pkts",
+        window_s: float = 1.0,
+    ) -> float:
+        """Average packet size over the trailing window, bytes."""
+        machine, element_id = self._locate(tenant_id, element_logical)
+        self.mirror_latest(machine, element_id)
+        win = self.mirror_for(machine).store.window_ending_now(element_id, window_s)
+        return win.avg_pkt_size(bytes_attr, pkts_attr)
+
+    # -- raw pull path (legacy escape hatch) -----------------------------------------------
 
     def query_machine(
         self,
@@ -95,5 +227,5 @@ class Controller:
         element_ids: Optional[Iterable[str]] = None,
         attrs: Optional[Iterable[str]] = None,
     ) -> List[StatRecord]:
-        """Raw per-machine query (used by machine-scoped diagnostics)."""
+        """Raw synchronous per-machine pull, bypassing the mirror."""
         return self.agent_for(machine_name).query(element_ids, attrs)

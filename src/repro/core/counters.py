@@ -22,8 +22,10 @@ which is what Table 2 and Figures 15-16 quantify.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, Mapping, Optional
+
+from repro.core.records import StatRecord
 
 #: Cost of one simple (packet or byte) counter update, in seconds.
 #: Measured in the paper's testbed (Section 7.4): "simple counters consume
@@ -62,6 +64,146 @@ class CounterOverheadModel:
     def disabled(cls) -> "CounterOverheadModel":
         """A model in which instrumentation costs nothing (uninstrumented)."""
         return cls(enabled_simple=False, enabled_time=False)
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """One element's typed, versioned counter snapshot.
+
+    ``seq`` is a per-element monotonic sequence number that advances only
+    when the observable counter state changes, which is what makes
+    delta-batched collection possible: a collector that has acknowledged
+    ``seq`` needs nothing from an element still at ``seq``.  ``attrs`` is
+    an immutable mapping (copy-on-read is free: readers share it).
+    """
+
+    element_id: str
+    machine: str
+    seq: int
+    timestamp: float
+    attrs: Mapping[str, float]
+
+    def get(self, attr: str, default: float = 0.0) -> float:
+        return float(self.attrs.get(attr, default))
+
+    def __contains__(self, attr: str) -> bool:
+        return attr in self.attrs
+
+    def at(self, timestamp: float) -> "CounterSnapshot":
+        """The same counter state re-observed at a later time (shares attrs)."""
+        if timestamp == self.timestamp:
+            return self
+        return replace(self, timestamp=timestamp)
+
+    def to_record(self, attrs: Optional[Iterable[str]] = None) -> StatRecord:
+        """Downgrade to the unified wire record format (Section 4.2)."""
+        record = StatRecord(self.timestamp, self.element_id, self.attrs, self.machine)
+        if attrs is not None:
+            record = record.subset(attrs)
+        return record
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "element": self.element_id,
+            "machine": self.machine,
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CounterSnapshot":
+        try:
+            element_id = str(payload["element"])
+            seq = int(payload["seq"])  # type: ignore[arg-type]
+            timestamp = float(payload["timestamp"])  # type: ignore[arg-type]
+            attrs_raw = payload["attrs"]
+        except KeyError as exc:
+            raise ValueError(f"counter snapshot missing field: {exc}") from exc
+        if not isinstance(attrs_raw, Mapping):
+            raise ValueError("counter snapshot attrs must be a mapping")
+        attrs = {str(k): float(v) for k, v in attrs_raw.items()}
+        return cls(element_id, str(payload.get("machine", "")), seq, timestamp, attrs)
+
+
+@dataclass(frozen=True)
+class CounterWindow:
+    """Two snapshots of one element bracketing an observation interval.
+
+    This is the object every Figure-6 routine and both diagnosis
+    algorithms actually operate on: counters are monotonic, so the
+    difference between ``start`` and ``end`` is the activity within the
+    window.  The helpers below replace the ad-hoc interval diffing the
+    diagnosis modules used to reimplement individually.
+    """
+
+    start: CounterSnapshot
+    end: CounterSnapshot
+
+    def __post_init__(self) -> None:
+        if self.start.element_id != self.end.element_id:
+            raise ValueError(
+                f"window mixes elements: {self.start.element_id!r} vs "
+                f"{self.end.element_id!r}"
+            )
+
+    @property
+    def element_id(self) -> str:
+        return self.end.element_id
+
+    @property
+    def machine(self) -> str:
+        return self.end.machine
+
+    @property
+    def duration_s(self) -> float:
+        return self.end.timestamp - self.start.timestamp
+
+    @property
+    def empty(self) -> bool:
+        """True when both ends are the same counter state (no activity)."""
+        return self.start.seq == self.end.seq
+
+    def delta(self, attr: str) -> float:
+        return self.end.get(attr) - self.start.get(attr)
+
+    def rate(self, attr: str) -> float:
+        """Average growth per second; 0 for an empty/zero-length window."""
+        dt = self.duration_s
+        if dt <= 0:
+            return 0.0
+        return self.delta(attr) / dt
+
+    def pkt_loss(self, in_attr: str = "rx_pkts", out_attr: str = "tx_pkts") -> float:
+        """Growth of (in - out) over the window — the GetPktLoss formula."""
+        gap_start = self.start.get(in_attr) - self.start.get(out_attr)
+        gap_end = self.end.get(in_attr) - self.end.get(out_attr)
+        return gap_end - gap_start
+
+    def avg_pkt_size(
+        self, bytes_attr: str = "rx_bytes", pkts_attr: str = "rx_pkts"
+    ) -> float:
+        d_pkts = self.delta(pkts_attr)
+        if d_pkts <= 0:
+            return 0.0
+        return self.delta(bytes_attr) / d_pkts
+
+    def growth(self, prefix: str) -> Dict[str, float]:
+        """Positive per-attribute growth for attributes under ``prefix.``."""
+        head = prefix + "."
+        out: Dict[str, float] = {}
+        for attr, value in self.end.attrs.items():
+            if attr.startswith(head):
+                delta = float(value) - self.start.get(attr)
+                if delta > 0:
+                    out[attr[len(head):]] = delta
+        return out
+
+    def drops_by_location(self) -> Dict[str, float]:
+        return self.growth("drops")
+
+    def drops_by_flow(self) -> Dict[str, float]:
+        return self.growth("drops_flow")
 
 
 class IOTimeCounter:
@@ -125,6 +267,14 @@ class CounterSet:
         self.in_time = IOTimeCounter()
         self.out_time = IOTimeCounter()
         self._pending_update_cost_s = 0.0
+        self._version = 0
+        self._snap_version = -1
+        self._snap_base: Dict[str, float] = {}
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; advances on every datapath update."""
+        return self._version
 
     # -- datapath updates ---------------------------------------------------
 
@@ -132,12 +282,14 @@ class CounterSet:
         """Record traffic read by the element's input method."""
         self.rx_pkts += pkts
         self.rx_bytes += nbytes
+        self._version += 1
         self._charge(simple=2.0 * pkts)
 
     def count_tx(self, pkts: float, nbytes: float) -> None:
         """Record traffic emitted by the element's output method."""
         self.tx_pkts += pkts
         self.tx_bytes += nbytes
+        self._version += 1
         self._charge(simple=2.0 * pkts)
 
     def count_drop(
@@ -148,14 +300,17 @@ class CounterSet:
         self.drop_bytes[location] = self.drop_bytes.get(location, 0.0) + nbytes
         if flow_id is not None:
             self.drops_by_flow[flow_id] = self.drops_by_flow.get(flow_id, 0.0) + pkts
+        self._version += 1
         self._charge(simple=2.0 * pkts)
 
     def count_in_time(self, elapsed_s: float, calls: float = 1.0) -> None:
         self.in_time.add(elapsed_s, calls)
+        self._version += 1
         self._charge(time=calls)
 
     def count_out_time(self, elapsed_s: float, calls: float = 1.0) -> None:
         self.out_time.add(elapsed_s, calls)
+        self._version += 1
         self._charge(time=calls)
 
     # -- overhead accounting -------------------------------------------------
@@ -190,22 +345,30 @@ class CounterSet:
         Drop locations appear as ``drops.<location>`` attributes; the
         aggregate as ``drops``.  Flow-level attribution appears as
         ``drops_flow.<flow_id>``.
+
+        Copy-on-read is cheap: the flat view is rebuilt only when the
+        counters changed since the previous read (``version`` tracks
+        that); an unchanged set hands out a shallow copy of the cached
+        base.
         """
-        snap: Dict[str, float] = {
-            "rx_pkts": self.rx_pkts,
-            "rx_bytes": self.rx_bytes,
-            "tx_pkts": self.tx_pkts,
-            "tx_bytes": self.tx_bytes,
-            "drops": self.total_drops,
-            "drop_bytes": self.total_drop_bytes,
-            "in_time": self.in_time.total_s,
-            "out_time": self.out_time.total_s,
-        }
-        for location, pkts in self.drops.items():
-            snap[f"drops.{location}"] = pkts
-        for flow_id, pkts in self.drops_by_flow.items():
-            snap[f"drops_flow.{flow_id}"] = pkts
-        return snap
+        if self._snap_version != self._version:
+            snap: Dict[str, float] = {
+                "rx_pkts": self.rx_pkts,
+                "rx_bytes": self.rx_bytes,
+                "tx_pkts": self.tx_pkts,
+                "tx_bytes": self.tx_bytes,
+                "drops": self.total_drops,
+                "drop_bytes": self.total_drop_bytes,
+                "in_time": self.in_time.total_s,
+                "out_time": self.out_time.total_s,
+            }
+            for location, pkts in self.drops.items():
+                snap[f"drops.{location}"] = pkts
+            for flow_id, pkts in self.drops_by_flow.items():
+                snap[f"drops_flow.{flow_id}"] = pkts
+            self._snap_base = snap
+            self._snap_version = self._version
+        return dict(self._snap_base)
 
     def reset(self) -> None:
         self.rx_pkts = self.rx_bytes = 0.0
@@ -216,6 +379,7 @@ class CounterSet:
         self.in_time.reset()
         self.out_time.reset()
         self._pending_update_cost_s = 0.0
+        self._version += 1
 
 
 def diff_snapshots(

@@ -17,11 +17,11 @@ Overloaded survivor of the propagation analysis.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.controller import Controller
-from repro.core.diagnosis.states import classify_state
-from repro.core.records import StatRecord
+from repro.core.counters import CounterWindow
+from repro.core.diagnosis.states import classify_window
 
 
 class BottleneckDetector:
@@ -56,30 +56,45 @@ class BottleneckDetector:
         if suspicious is None:
             suspicious = [n.name for n in vnet.middleboxes()]
 
-        attrs = ["inBytes", "inTime", "outBytes", "outTime", "capacity_bps"]
-        before: Dict[str, StatRecord] = {}
-        tun_before: Dict[str, StatRecord] = {}
-        for name in suspicious:
-            before[name] = self.controller.get_attr(tenant_id, name, attrs)
-            tun_before[name] = self._tun_record(tenant_id, name)
+        located = {name: vnet.locate(name) for name in suspicious}
+        tuns = {name: self._tun_location(tenant_id, name) for name in suspicious}
+        machines = sorted({machine for machine, _ in located.values()})
+
+        for machine in machines:
+            self.controller.refresh(machine)
+        before = {
+            name: self.controller.mirror_latest(machine, eid)
+            for name, (machine, eid) in located.items()
+        }
+        tun_before = {
+            name: self.controller.mirror_latest(machine, eid)
+            for name, (machine, eid) in tuns.items()
+        }
         self.advance(window)
+        for machine in machines:
+            self.controller.refresh(machine)
 
         out: Dict[str, Dict[str, object]] = {}
         for name in suspicious:
-            after = self.controller.get_attr(tenant_id, name, attrs)
-            tun_after = self._tun_record(tenant_id, name)
-            capacity = after.get("capacity_bps", 0.0)
+            machine, eid = located[name]
+            win = CounterWindow(
+                start=before[name], end=self.controller.mirror_latest(machine, eid)
+            )
+            tun_machine, tun_id = tuns[name]
+            tun_win = CounterWindow(
+                start=tun_before[name],
+                end=self.controller.mirror_latest(tun_machine, tun_id),
+            )
+            capacity = win.end.get("capacity_bps", 0.0)
             state = None
             if capacity > 0:
-                state = classify_state(
-                    name, before[name], after, capacity, theta=self.theta
-                )
-            tun_drops = tun_after.get("drops") - tun_before[name].get("drops")
+                state = classify_window(win, capacity, theta=self.theta, name=name)
+            tun_drops = tun_win.delta("drops")
             cpu_bound = (
                 state is not None
                 and not state.read_blocked
                 and not state.write_blocked
-                and (after.get("inBytes") - before[name].get("inBytes")) > 0
+                and win.delta("inBytes") > 0
             )
             out[name] = {
                 "state": state,
@@ -89,10 +104,7 @@ class BottleneckDetector:
             }
         return out
 
-    def _tun_record(self, tenant_id: str, mb_name: str) -> StatRecord:
-        """The TUN element stats for the middlebox's VM."""
-        vnet = self.controller.vnet(tenant_id)
-        node = vnet.middlebox(mb_name)
-        agent = self.controller.agent_for(node.machine)
-        tun_id = f"tun-{node.vm_id}@{node.machine}"
-        return agent.query([tun_id])[0]
+    def _tun_location(self, tenant_id: str, mb_name: str) -> Tuple[str, str]:
+        """(machine, element_id) of the TUN device for the middlebox's VM."""
+        node = self.controller.vnet(tenant_id).middlebox(mb_name)
+        return node.machine, f"tun-{node.vm_id}@{node.machine}"

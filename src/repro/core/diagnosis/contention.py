@@ -1,10 +1,12 @@
 """Algorithm 1: detect contention and bottleneck locations.
 
-For every element in a machine's virtualization stack, take two counter
-samples T seconds apart, compute the element's packet loss (growth of
-in-minus-out, exactly the paper's GetPktLoss), sort descending, and map
-the observed drop locations through the Table-1 rule book.  Whether the
-loss is spread across VMs (contention) or confined to one VM's path
+For every element in a machine's virtualization stack, observe a
+:class:`CounterWindow` T seconds wide (two mirror refreshes bracketing
+the interval — one delta-batched exchange each, not a per-element
+pull), compute the element's packet loss (growth of in-minus-out,
+exactly the paper's GetPktLoss), sort descending, and map the observed
+drop locations through the Table-1 rule book.  Whether the loss is
+spread across VMs (contention) or confined to one VM's path
 (bottleneck) comes from the per-VM drop locations and the per-flow
 attribution the buffers keep.
 
@@ -16,8 +18,8 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.core.controller import Controller
+from repro.core.counters import CounterWindow
 from repro.core.diagnosis.report import ContentionReport, ElementLoss
-from repro.core.records import StatRecord
 from repro.core.rulebook import RuleBook
 
 
@@ -52,17 +54,23 @@ class ContentionDetector:
         return [e.name for e in machine.stack_elements()]
 
     def run(self, machine_name: str, window_s: Optional[float] = None) -> ContentionReport:
-        """Sample, wait, sample, rank; returns the full report."""
+        """Refresh, wait, refresh, rank; returns the full report."""
         window = window_s if window_s is not None else self.window_s
         ids = self._stack_element_ids(machine_name)
-        before = {r.element_id: r for r in self.controller.query_machine(machine_name, ids)}
+        self.controller.refresh(machine_name)
+        starts = {
+            eid: self.controller.mirror_latest(machine_name, eid) for eid in ids
+        }
         self.advance(window)
-        after = {r.element_id: r for r in self.controller.query_machine(machine_name, ids)}
+        self.controller.refresh(machine_name)
 
         ranked: List[ElementLoss] = []
         for eid in ids:
-            loss = self._element_loss(before[eid], after[eid])
-            ranked.append(loss)
+            win = CounterWindow(
+                start=starts[eid],
+                end=self.controller.mirror_latest(machine_name, eid),
+            )
+            ranked.append(self._element_loss(win))
         ranked.sort(key=lambda el: -el.loss_pkts)
 
         drops_all: Dict[str, float] = {}
@@ -110,24 +118,11 @@ class ContentionDetector:
         return None
 
     @staticmethod
-    def _element_loss(before: StatRecord, after: StatRecord) -> ElementLoss:
-        gap_before = before.get("rx_pkts") - before.get("tx_pkts")
-        gap_after = after.get("rx_pkts") - after.get("tx_pkts")
-        drops_by_location: Dict[str, float] = {}
-        drops_by_flow: Dict[str, float] = {}
-        for attr, value in after.items():
-            if attr.startswith("drops."):
-                delta = value - before.get(attr)
-                if delta > 0:
-                    drops_by_location[attr[len("drops."):]] = delta
-            elif attr.startswith("drops_flow."):
-                delta = value - before.get(attr)
-                if delta > 0:
-                    drops_by_flow[attr[len("drops_flow."):]] = delta
+    def _element_loss(window: CounterWindow) -> ElementLoss:
         return ElementLoss(
-            element_id=after.element_id,
-            machine=after.machine,
-            loss_pkts=gap_after - gap_before,
-            drops_by_location=drops_by_location,
-            drops_by_flow=drops_by_flow,
+            element_id=window.element_id,
+            machine=window.machine,
+            loss_pkts=window.pkt_loss(),
+            drops_by_location=window.drops_by_location(),
+            drops_by_flow=window.drops_by_flow(),
         )

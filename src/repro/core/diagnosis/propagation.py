@@ -1,7 +1,9 @@
 """Algorithm 2: locate the root-cause middlebox under propagation.
 
-Fetch each middlebox's ``inBytes/inTime/outBytes/outTime`` twice, T
-apart; classify Read/WriteBlocked; then eliminate:
+Observe each middlebox's ``inBytes/inTime/outBytes/outTime`` over a
+:class:`CounterWindow` T wide (one delta-batched mirror refresh per
+involved machine at each end — not a per-middlebox pull); classify
+Read/WriteBlocked; then eliminate:
 
 * a ReadBlocked middlebox and all its successors (they are starved by
   something upstream, not at fault themselves);
@@ -20,8 +22,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro.cluster.topology import VirtualNetwork
 from repro.core.controller import Controller
+from repro.core.counters import CounterWindow
 from repro.core.diagnosis.report import MiddleboxVerdict, RootCauseReport
-from repro.core.diagnosis.states import MiddleboxState, classify_state
+from repro.core.diagnosis.states import MiddleboxState, classify_window
 
 STAT_ATTRS = ["inBytes", "inTime", "outBytes", "outTime"]
 
@@ -47,29 +50,31 @@ class RootCauseLocator:
         window = window_s if window_s is not None else self.window_s
         vnet = self.controller.vnet(tenant_id)
         names = [node.name for node in vnet.middleboxes()]
+        located = {name: vnet.locate(name) for name in names}
+        machines = sorted({machine for machine, _ in located.values()})
 
-        before = {
-            name: self.controller.get_attr(tenant_id, name, STAT_ATTRS)
-            for name in names
+        for machine in machines:
+            self.controller.refresh(machine)
+        starts = {
+            name: self.controller.mirror_latest(machine, eid)
+            for name, (machine, eid) in located.items()
         }
         self.advance(window)
-        after = {
-            name: self.controller.get_attr(tenant_id, name, STAT_ATTRS)
-            for name in names
-        }
+        for machine in machines:
+            self.controller.refresh(machine)
 
         states: Dict[str, MiddleboxState] = {}
         for name in names:
-            capacity = self.controller.get_attr(
-                tenant_id, name, ["capacity_bps"]
-            ).get("capacity_bps", 0.0)
+            machine, eid = located[name]
+            win = CounterWindow(
+                start=starts[name], end=self.controller.mirror_latest(machine, eid)
+            )
+            capacity = win.end.get("capacity_bps", 0.0)
             if capacity <= 0:
                 raise RuntimeError(
                     f"middlebox {name!r} does not expose its vNIC capacity"
                 )
-            states[name] = classify_state(
-                name, before[name], after[name], capacity, theta=self.theta
-            )
+            states[name] = classify_window(win, capacity, theta=self.theta, name=name)
 
         candidates = set(names)
         for name in names:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.counters import CounterWindow
 from repro.core.records import StatRecord
 
 
@@ -71,15 +72,48 @@ def classify_state(
     theta: float = 0.9,
 ) -> MiddleboxState:
     """Classify one middlebox from a pair of counter samples."""
+    return _classify_deltas(
+        name,
+        after.get("inBytes") - before.get("inBytes"),
+        after.get("inTime") - before.get("inTime"),
+        after.get("outBytes") - before.get("outBytes"),
+        after.get("outTime") - before.get("outTime"),
+        capacity_bps,
+        theta,
+    )
+
+
+def classify_window(
+    window: CounterWindow,
+    capacity_bps: float,
+    theta: float = 0.9,
+    name: Optional[str] = None,
+) -> MiddleboxState:
+    """Classify one middlebox from a mirrored counter window."""
+    return _classify_deltas(
+        name if name is not None else window.element_id,
+        window.delta("inBytes"),
+        window.delta("inTime"),
+        window.delta("outBytes"),
+        window.delta("outTime"),
+        capacity_bps,
+        theta,
+    )
+
+
+def _classify_deltas(
+    name: str,
+    d_bi: float,
+    d_ti: float,
+    d_bo: float,
+    d_to: float,
+    capacity_bps: float,
+    theta: float,
+) -> MiddleboxState:
     if capacity_bps <= 0:
         raise ValueError(f"capacity must be positive: {capacity_bps!r}")
     if not 0 < theta <= 1.0:
         raise ValueError(f"theta must be in (0, 1]: {theta!r}")
-    d_bi = after.get("inBytes") - before.get("inBytes")
-    d_ti = after.get("inTime") - before.get("inTime")
-    d_bo = after.get("outBytes") - before.get("outBytes")
-    d_to = after.get("outTime") - before.get("outTime")
-
     in_rate = _rate(d_bi, d_ti)
     out_rate = _rate(d_bo, d_to)
     threshold = theta * capacity_bps

@@ -3,9 +3,19 @@
 from __future__ import annotations
 
 import socket
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.core.net.protocol import ProtocolError, recv_message, send_message
+from repro.core.counters import CounterSnapshot
+from repro.core.net.protocol import (
+    OP_LIST_ELEMENTS,
+    OP_PING,
+    OP_QUERY,
+    OP_STACK_ELEMENTS,
+    ProtocolError,
+    make_batch_delta_request,
+    recv_message,
+    send_message,
+)
 from repro.core.records import StatRecord
 
 
@@ -61,13 +71,13 @@ class RemoteAgentHandle:
     # -- AgentHandle interface ---------------------------------------------------------
 
     def ping(self) -> str:
-        return str(self._call({"op": "ping"})["agent"])
+        return str(self._call({"op": OP_PING})["agent"])
 
     def element_ids(self) -> List[str]:
-        return [str(e) for e in self._call({"op": "list_elements"})["elements"]]
+        return [str(e) for e in self._call({"op": OP_LIST_ELEMENTS})["elements"]]
 
     def stack_element_ids(self) -> List[str]:
-        return [str(e) for e in self._call({"op": "stack_elements"})["elements"]]
+        return [str(e) for e in self._call({"op": OP_STACK_ELEMENTS})["elements"]]
 
     def query(
         self,
@@ -75,7 +85,7 @@ class RemoteAgentHandle:
         attrs: Optional[Iterable[str]] = None,
     ) -> List[StatRecord]:
         request = {
-            "op": "query",
+            "op": OP_QUERY,
             "elements": list(element_ids) if element_ids is not None else None,
             "attrs": list(attrs) if attrs is not None else None,
         }
@@ -84,6 +94,21 @@ class RemoteAgentHandle:
         if not isinstance(records, list):
             raise ProtocolError("query response missing records")
         return [StatRecord.from_dict(r) for r in records]
+
+    def collect_delta(
+        self, acked: Optional[Mapping[str, int]] = None
+    ) -> Tuple[List[CounterSnapshot], Dict[str, int]]:
+        """One BATCH_DELTA exchange: changed snapshots + new ack cursor."""
+        response = self._call(make_batch_delta_request(acked))
+        batch = response.get("batch")
+        cursor = response.get("cursor")
+        if not isinstance(batch, list) or not isinstance(cursor, dict):
+            raise ProtocolError("batch_delta response missing batch/cursor")
+        try:
+            snaps = [CounterSnapshot.from_dict(entry) for entry in batch]
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad snapshot in batch_delta: {exc}") from exc
+        return snaps, {str(k): int(v) for k, v in cursor.items()}
 
     def __enter__(self) -> "RemoteAgentHandle":
         return self

@@ -1,10 +1,16 @@
 """Length-prefixed JSON framing for the agent-controller channel.
 
 Frame layout: 4-byte big-endian payload length, then UTF-8 JSON.  The
-payload is a dict; requests carry an ``op`` ("query", "list_elements",
-"stack_elements", "ping"), responses carry ``ok`` plus either results or
-``error``.  A maximum frame size guards both sides against a corrupt or
-hostile peer.
+payload is a dict; requests carry an ``op`` (see the ``OP_*`` constants),
+responses carry ``ok`` plus either results or ``error``.  A maximum
+frame size guards both sides against a corrupt or hostile peer.
+
+The workhorse op is ``BATCH_DELTA``: the controller sends its
+per-element acknowledged sequence numbers and the agent replies with one
+machine-batched frame holding only the counter snapshots that changed
+since — the streaming collection pipeline of the statistics plane.  The
+older per-query ``query`` op remains as the synchronous pull escape
+hatch.
 """
 
 from __future__ import annotations
@@ -12,12 +18,38 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Any, Dict
+from typing import Any, Dict, Mapping, Optional
 
 #: Refuse frames above 16 MiB — a full-machine stat sweep is ~100 KiB.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
+#: Request op names understood by the agent server.
+OP_PING = "ping"
+OP_LIST_ELEMENTS = "list_elements"
+OP_STACK_ELEMENTS = "stack_elements"
+OP_QUERY = "query"
+OP_BATCH_DELTA = "batch_delta"
+
 _HEADER = struct.Struct(">I")
+
+
+def make_batch_delta_request(acked: Optional[Mapping[str, int]]) -> Dict[str, Any]:
+    """Request every snapshot newer than the collector's ack vector."""
+    return {
+        "op": OP_BATCH_DELTA,
+        "acked": {str(k): int(v) for k, v in (acked or {}).items()},
+    }
+
+
+def parse_acked(payload: Mapping[str, Any]) -> Dict[str, int]:
+    """Validate the ``acked`` field of a BATCH_DELTA request."""
+    raw = payload.get("acked") or {}
+    if not isinstance(raw, Mapping):
+        raise ProtocolError(f"acked must be a mapping, got {type(raw).__name__}")
+    try:
+        return {str(k): int(v) for k, v in raw.items()}
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"bad acked sequence number: {exc}") from exc
 
 
 class ProtocolError(Exception):

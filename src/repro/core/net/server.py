@@ -7,7 +7,17 @@ import threading
 from typing import Optional, Tuple
 
 from repro.core.agent import Agent
-from repro.core.net.protocol import ProtocolError, recv_message, send_message
+from repro.core.net.protocol import (
+    OP_BATCH_DELTA,
+    OP_LIST_ELEMENTS,
+    OP_PING,
+    OP_QUERY,
+    OP_STACK_ELEMENTS,
+    ProtocolError,
+    parse_acked,
+    recv_message,
+    send_message,
+)
 
 
 class _AgentRequestHandler(socketserver.BaseRequestHandler):
@@ -33,21 +43,31 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
     @staticmethod
     def _dispatch(agent: Agent, lock: threading.Lock, request: dict) -> dict:
         op = request.get("op")
-        if op == "ping":
+        if op == OP_PING:
             return {"ok": True, "agent": agent.name}
-        if op == "list_elements":
+        if op == OP_LIST_ELEMENTS:
             with lock:
                 return {"ok": True, "elements": agent.element_ids()}
-        if op == "stack_elements":
+        if op == OP_STACK_ELEMENTS:
             with lock:
                 ids = [e.name for e in agent.machine.stack_elements()]
             return {"ok": True, "elements": ids}
-        if op == "query":
+        if op == OP_QUERY:
             element_ids = request.get("elements")
             attrs = request.get("attrs")
             with lock:
                 records = agent.query(element_ids, attrs)
             return {"ok": True, "records": [r.to_dict() for r in records]}
+        if op == OP_BATCH_DELTA:
+            acked = parse_acked(request)
+            with lock:
+                batch, cursor = agent.collect_delta(acked)
+            return {
+                "ok": True,
+                "machine": agent.machine.name,
+                "batch": [snap.to_dict() for snap in batch],
+                "cursor": cursor,
+            }
         return {"ok": False, "error": f"unknown op: {op!r}"}
 
 

@@ -1,24 +1,33 @@
 """The basic utility routines of Figure 6.
 
 ``GetThroughput``, ``GetPktLoss`` and ``GetAvgPktSize`` all follow the
-same pattern: sample, ``sleep(T)``, sample again, difference.  In a
+same pattern: observe, ``sleep(T)``, observe again, difference.  In a
 simulation "sleep" means advancing simulated time, so the runner takes
 an ``advance`` callable (``lambda t: sim.run(t)``); against a live
 deployment the same code passes ``time.sleep``.
+
+Since the telemetry-plane refactor the two observations are not
+per-query agent pulls: the runner refreshes the controller's mirror
+(one delta-batched exchange per machine) at each end of the interval
+and the routine itself is an O(1) :class:`CounterWindow` lookup against
+the mirror.  A deployment whose agents poll on a cadence
+(``agent.start_polling``) pays even less — the refresh only drains
+already-collected deltas.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Tuple
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.core.controller import Controller
+from repro.core.counters import CounterWindow
 from repro.core.records import StatRecord
 
 Advance = Callable[[float], None]
 
 
 class QueryRunner:
-    """Two-sample differencing over controller queries."""
+    """Windowed differencing over the controller's mirror stores."""
 
     def __init__(
         self, controller: Controller, advance: Advance, interval_s: float = 1.0
@@ -36,20 +45,21 @@ class QueryRunner:
     ) -> StatRecord:
         return self.controller.get_attr(tenant_id, element, attrs)
 
-    def sample_pair(
+    def observe_window(
         self,
         tenant_id: str,
         element: str,
-        attrs: Iterable[str],
         interval_s: Optional[float] = None,
-    ) -> Tuple[StatRecord, StatRecord]:
-        """<sample, sleep(T), sample> for one element."""
-        attrs = list(attrs)
+    ) -> CounterWindow:
+        """<refresh, sleep(T), refresh> then one mirror window lookup."""
         t = interval_s if interval_s is not None else self.interval_s
-        before = self.get_attr(tenant_id, element, attrs)
+        machine, element_id = self.controller.vnet(tenant_id).locate(element)
+        self.controller.refresh(machine)
+        start = self.controller.mirror_latest(machine, element_id)
         self.advance(t)
-        after = self.get_attr(tenant_id, element, attrs)
-        return before, after
+        self.controller.refresh(machine)
+        end = self.controller.mirror_latest(machine, element_id)
+        return CounterWindow(start=start, end=end)
 
     # -- Figure 6 routines ---------------------------------------------------------------
 
@@ -61,11 +71,10 @@ class QueryRunner:
         interval_s: Optional[float] = None,
     ) -> float:
         """Average throughput over the interval, bytes/second."""
-        before, after = self.sample_pair(tenant_id, element, [attr], interval_s)
-        dt = after.timestamp - before.timestamp
-        if dt <= 0:
+        window = self.observe_window(tenant_id, element, interval_s)
+        if window.duration_s <= 0 and not window.empty:
             raise RuntimeError("throughput interval did not advance time")
-        return (after.get(attr) - before.get(attr)) / dt
+        return window.rate(attr)
 
     def get_pkt_loss(
         self,
@@ -81,12 +90,8 @@ class QueryRunner:
         counts until it drains or drops — by design, since a persistently
         growing backlog is itself a symptom.
         """
-        before, after = self.sample_pair(
-            tenant_id, element, [in_attr, out_attr], interval_s
-        )
-        gap_before = before.get(in_attr) - before.get(out_attr)
-        gap_after = after.get(in_attr) - after.get(out_attr)
-        return gap_after - gap_before
+        window = self.observe_window(tenant_id, element, interval_s)
+        return window.pkt_loss(in_attr, out_attr)
 
     def get_avg_pkt_size(
         self,
@@ -97,13 +102,8 @@ class QueryRunner:
         interval_s: Optional[float] = None,
     ) -> float:
         """Average packet size over the interval, bytes."""
-        before, after = self.sample_pair(
-            tenant_id, element, [bytes_attr, pkts_attr], interval_s
-        )
-        d_pkts = after.get(pkts_attr) - before.get(pkts_attr)
-        if d_pkts <= 0:
-            return 0.0
-        return (after.get(bytes_attr) - before.get(bytes_attr)) / d_pkts
+        window = self.observe_window(tenant_id, element, interval_s)
+        return window.avg_pkt_size(bytes_attr, pkts_attr)
 
     def get_drops(
         self,
@@ -117,13 +117,10 @@ class QueryRunner:
         instrumentation keeps at every drop branch; Algorithm 1 uses the
         location breakdown to enter the rule book.
         """
-        before = self.get_attr(tenant_id, element)
-        self.advance(interval_s if interval_s is not None else self.interval_s)
-        after = self.get_attr(tenant_id, element)
+        window = self.observe_window(tenant_id, element, interval_s)
         out: Dict[str, float] = {}
-        for attr, value in after.items():
-            if attr.startswith("drops.") or attr.startswith("drops_flow."):
-                delta = value - before.get(attr)
-                if delta > 0:
-                    out[attr] = delta
+        for loc, pkts in window.drops_by_location().items():
+            out[f"drops.{loc}"] = pkts
+        for flow, pkts in window.drops_by_flow().items():
+            out[f"drops_flow.{flow}"] = pkts
         return out

@@ -1,0 +1,168 @@
+"""Per-agent time-series store for counter snapshots.
+
+PerfSight's collection plane is streaming, not per-query: the agent
+sweeps its element channels on a cadence, appends the resulting typed
+:class:`~repro.core.counters.CounterSnapshot` objects to a bounded
+per-element ring buffer, and uploads only what changed since the
+collector's last acknowledged sequence number.  The controller keeps
+one mirror :class:`TimeSeriesStore` per agent and answers every
+Figure-6 utility routine as an O(1)-per-lookup window query against the
+mirror — no per-query RPC, no re-reading of overlapping intervals.
+
+Snapshots are delta-compressed on ingest: an element whose sequence
+number did not advance (nothing observable changed) is not stored
+again, so idle elements cost nothing beyond their first sample.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Mapping
+
+from repro.core.counters import CounterSnapshot, CounterWindow
+
+#: Ring capacity per element.  At a 10 Hz cadence this retains ~25 s of
+#: history per element, far beyond any diagnosis window in the paper.
+DEFAULT_CAPACITY_PER_ELEMENT = 256
+
+
+class StoreError(KeyError):
+    """Raised for lookups against data the store does not (yet) hold."""
+
+
+class TimeSeriesStore:
+    """Bounded, per-element ring buffers of versioned counter snapshots."""
+
+    def __init__(self, capacity_per_element: int = DEFAULT_CAPACITY_PER_ELEMENT):
+        if capacity_per_element < 2:
+            raise ValueError(
+                f"capacity must hold at least a window pair: {capacity_per_element!r}"
+            )
+        self.capacity_per_element = capacity_per_element
+        self._series: Dict[str, Deque[CounterSnapshot]] = {}
+        self.total_appended = 0
+        self.total_deduped = 0
+
+    # -- ingest -----------------------------------------------------------------
+
+    def append(self, snap: CounterSnapshot) -> bool:
+        """Add a snapshot; returns False when delta-compressed away.
+
+        Within one element the store keeps exactly one entry per
+        sequence number, ordered, stamped with the time that version was
+        first observed.  Re-observations of the current version are
+        dropped without touching stored state, which keeps an agent
+        store and its controller mirror byte-for-byte identical once the
+        mirror has acknowledged the latest sequence numbers.
+        """
+        series = self._series.get(snap.element_id)
+        if series is None:
+            series = self._series[snap.element_id] = deque(
+                maxlen=self.capacity_per_element
+            )
+        if series:
+            latest = series[-1]
+            if snap.seq < latest.seq:
+                raise ValueError(
+                    f"non-monotonic snapshot for {snap.element_id!r}: "
+                    f"seq {snap.seq} after {latest.seq}"
+                )
+            if snap.seq == latest.seq:
+                self.total_deduped += 1
+                return False
+        series.append(snap)
+        self.total_appended += 1
+        return True
+
+    def extend(self, snaps: Iterable[CounterSnapshot]) -> int:
+        """Append many snapshots; returns how many were actually stored."""
+        return sum(1 for snap in snaps if self.append(snap))
+
+    def clear(self) -> None:
+        self._series.clear()
+
+    # -- lookups ----------------------------------------------------------------
+
+    def element_ids(self) -> List[str]:
+        return sorted(self._series)
+
+    def __contains__(self, element_id: str) -> bool:
+        return element_id in self._series
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._series.values())
+
+    def _get_series(self, element_id: str) -> Deque[CounterSnapshot]:
+        try:
+            return self._series[element_id]
+        except KeyError:
+            raise StoreError(f"no snapshots stored for element {element_id!r}") from None
+
+    def latest(self, element_id: str) -> CounterSnapshot:
+        return self._get_series(element_id)[-1]
+
+    def at_or_before(self, element_id: str, t: float) -> CounterSnapshot:
+        """The element's state as of time ``t`` (latest sample <= t)."""
+        series = self._get_series(element_id)
+        for snap in reversed(series):
+            if snap.timestamp <= t + 1e-12:
+                return snap
+        raise StoreError(
+            f"no snapshot of {element_id!r} at or before t={t}: "
+            f"history starts at {series[0].timestamp}"
+        )
+
+    def window(self, element_id: str, t0: float, t1: float) -> CounterWindow:
+        """The element's activity over ``[t0, t1]``.
+
+        The start bound falls back to the oldest retained sample when
+        the ring no longer reaches back to ``t0``.
+        """
+        if t1 < t0:
+            raise ValueError(f"window ends before it starts: [{t0}, {t1}]")
+        series = self._get_series(element_id)
+        end = self.at_or_before(element_id, t1)
+        try:
+            start = self.at_or_before(element_id, t0)
+        except StoreError:
+            start = series[0]
+        return CounterWindow(start=start, end=end)
+
+    def window_ending_now(self, element_id: str, duration_s: float) -> CounterWindow:
+        """The trailing ``duration_s`` window up to the latest sample.
+
+        This is the hot path of every Figure-6 routine, so it scans the
+        ring once instead of delegating to :meth:`window`.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"window duration must be positive: {duration_s!r}")
+        series = self._get_series(element_id)
+        end = series[-1]
+        t0 = end.timestamp - duration_s + 1e-12
+        start = series[0]
+        for snap in reversed(series):
+            if snap.timestamp <= t0:
+                start = snap
+                break
+        return CounterWindow(start=start, end=end)
+
+    # -- delta-batched collection -------------------------------------------------
+
+    def cursor(self) -> Dict[str, int]:
+        """element id -> latest stored sequence number (the ack vector)."""
+        return {eid: series[-1].seq for eid, series in self._series.items() if series}
+
+    def changed_since(self, acked: Mapping[str, int]) -> List[CounterSnapshot]:
+        """Every stored snapshot newer than the collector's ack vector.
+
+        Returned oldest-first per element so a mirror replaying the batch
+        converges to the same series order.
+        """
+        out: List[CounterSnapshot] = []
+        for eid in sorted(self._series):
+            floor = acked.get(eid, -1)
+            series = self._series[eid]
+            if series and series[-1].seq <= floor:
+                continue
+            out.extend(snap for snap in series if snap.seq > floor)
+        return out

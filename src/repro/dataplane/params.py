@@ -13,7 +13,7 @@ memory-bus bytes per packet byte; rates in bits/s unless suffixed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

@@ -15,7 +15,7 @@ which is itself a diagnosable location.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.simnet.buffers import Buffer

@@ -10,10 +10,9 @@ real header-matching firewalls.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict
 
 from repro.middleboxes.base import RelayApp
-from repro.simnet.engine import Simulator
 
 FW_CPU_PER_PKT = 2.0e-6
 

@@ -10,7 +10,7 @@ that, plus helpers for wiring app endpoints to external hosts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.cluster.placement import Placement
 from repro.cluster.topology import Tenant
@@ -21,7 +21,7 @@ from repro.dataplane.machine import PhysicalMachine
 from repro.dataplane.params import DataplaneParams
 from repro.middleboxes.base import App
 from repro.simnet.engine import Component, Simulator
-from repro.simnet.packet import Flow, PacketBatch
+from repro.simnet.packet import Flow
 from repro.simnet.trace import Tracer
 from repro.transport.registry import TransportRegistry
 from repro.transport.tcp import Connection
@@ -30,7 +30,12 @@ from repro.transport.tcp import Connection
 class Harness:
     """One experiment's world: sim, machines, fabric, PerfSight."""
 
-    def __init__(self, tick: float = 1e-3, seed: int = 0) -> None:
+    def __init__(
+        self,
+        tick: float = 1e-3,
+        seed: int = 0,
+        poll_period_s: Optional[float] = None,
+    ) -> None:
         self.sim = Simulator(tick=tick, seed=seed)
         self.registry = TransportRegistry(self.sim)
         self.fabric = Fabric(self.sim)
@@ -39,6 +44,7 @@ class Harness:
         self.machines: Dict[str, PhysicalMachine] = {}
         self.agents: Dict[str, Agent] = {}
         self.tracer = Tracer(self.sim, period=0.1)
+        self.poll_period_s = poll_period_s
         self._conn_seq = 0
 
     # -- construction ------------------------------------------------------------
@@ -57,6 +63,8 @@ class Harness:
         self.machines[name] = machine
         self.agents[name] = agent
         self.controller.register_local_agent(agent)
+        if self.poll_period_s is not None:
+            agent.start_polling(self.poll_period_s)
         return machine
 
     def add_tenant(self, tenant_id: str) -> Tenant:
@@ -234,7 +242,9 @@ def drop_snapshot(machine: PhysicalMachine) -> Dict[str, float]:
 
 
 def drop_delta(before: Dict[str, float], after: Dict[str, float]) -> Dict[str, float]:
-    keys = set(before) | set(after)
+    # Sorted so ties in downstream max() break identically across runs
+    # (set order varies with string-hash randomization).
+    keys = sorted(set(before) | set(after))
     return {
         k: after.get(k, 0.0) - before.get(k, 0.0)
         for k in keys

@@ -21,7 +21,7 @@ the paper's figure) and per-phase drop-location deltas (right axis).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.middleboxes.http import HttpServer
 from repro.middleboxes.proxy import Proxy

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.core.diagnosis.contention import ContentionDetector
-from repro.core.rulebook import MEMORY_BANDWIDTH, classify_location
+from repro.core.rulebook import classify_location
 from repro.middleboxes.http import HttpServer
 from repro.scenarios.common import Harness
 from repro.simnet.packet import Flow

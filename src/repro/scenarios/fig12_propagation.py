@@ -23,7 +23,6 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.cluster.chains import build_chain, connect_apps
-from repro.cluster.topology import Tenant
 from repro.core.diagnosis.propagation import RootCauseLocator
 from repro.core.diagnosis.report import RootCauseReport
 from repro.middleboxes.base import OutputPort

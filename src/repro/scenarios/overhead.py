@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.counters import CounterOverheadModel
-from repro.middleboxes.base import App, OutputPort
+from repro.middleboxes.base import App
 from repro.middleboxes.cache import CacheProxy
 from repro.middleboxes.ids import IntrusionPreventionSystem
 from repro.middleboxes.load_balancer import LoadBalancer

@@ -23,7 +23,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Union
 
-from repro.core.counters import CounterOverheadModel, CounterSet
+from types import MappingProxyType
+
+from repro.core.counters import CounterOverheadModel, CounterSet, CounterSnapshot
 from repro.simnet.buffers import Buffer
 from repro.simnet.engine import Component, SimError, Simulator
 from repro.simnet.packet import PacketBatch
@@ -116,6 +118,8 @@ class Element(Component):
         self.count_rx_on_process = True
         #: Operator-defined statistics (see repro.core.extensions).
         self.custom_counters: List = []
+        self._snap_seq = 0
+        self._snap_cache: Optional[CounterSnapshot] = None
         sim.add(self)
 
     # -- wiring -------------------------------------------------------------------
@@ -339,6 +343,35 @@ class Element(Component):
             snap["queue_bytes"] = self.in_buf.nbytes
         if self.rate_bps is not None:
             snap["capacity_bps"] = self.rate_bps
+        return snap
+
+    def snapshot_versioned(self, timestamp: float) -> CounterSnapshot:
+        """Typed snapshot with a monotonic per-element sequence number.
+
+        The sequence number advances only when the observable state
+        (counters *or* gauges) changed since the previous read, so
+        collectors can skip unchanged elements entirely — the primitive
+        behind the agent store's delta-batched uploads.  Re-reading an
+        unchanged element is nearly free: the cached snapshot is reused,
+        only restamped with the new observation time.
+        """
+        cached = self._snap_cache
+        # Gauges may arrive as ints; normalize so a snapshot serializes
+        # identically on both sides of the wire (mirror byte-equality).
+        attrs = {k: float(v) for k, v in self.snapshot().items()}
+        if cached is not None and cached.attrs == attrs:
+            if timestamp != cached.timestamp:
+                cached = self._snap_cache = cached.at(timestamp)
+            return cached
+        self._snap_seq += 1
+        snap = CounterSnapshot(
+            element_id=self.name,
+            machine=self.machine,
+            seq=self._snap_seq,
+            timestamp=timestamp,
+            attrs=MappingProxyType(attrs),
+        )
+        self._snap_cache = snap
         return snap
 
     def end_tick(self, sim: Simulator) -> None:

@@ -30,6 +30,27 @@ class SimError(Exception):
     """Raised for simulator misuse (duplicate names, bad wiring, ...)."""
 
 
+class PeriodicHandle:
+    """Cancel handle for a :meth:`Simulator.schedule_every` job.
+
+    Periodic events re-schedule themselves forever; without a handle a
+    poller started for one scenario phase would leak into the next.
+    ``cancel()`` is idempotent and takes effect before the next firing.
+    """
+
+    __slots__ = ("_cancelled",)
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self._cancelled
+
+
 class Component:
     """Anything that participates in the per-tick phases.
 
@@ -127,17 +148,26 @@ class Simulator:
 
     def schedule_every(
         self, period: float, fn: Callable[[], None], start: Optional[float] = None
-    ) -> None:
-        """Run ``fn`` periodically, starting at ``start`` (default: now+period)."""
+    ) -> PeriodicHandle:
+        """Run ``fn`` periodically, starting at ``start`` (default: now+period).
+
+        Returns a :class:`PeriodicHandle`; ``handle.cancel()`` stops the
+        series before its next firing.
+        """
         if period <= 0:
             raise SimError(f"period must be positive, got {period!r}")
         first = self.now + period if start is None else start
+        handle = PeriodicHandle()
 
         def fire() -> None:
+            if not handle.active:
+                return
             fn()
-            self.schedule(self.now + period, fire)
+            if handle.active:
+                self.schedule(self.now + period, fire)
 
         self.schedule(first, fire)
+        return handle
 
     # -- main loop ----------------------------------------------------------------
 
@@ -183,14 +213,12 @@ class Simulator:
         """Run for ``duration`` simulated seconds (rounded up to whole ticks)."""
         if duration < 0:
             raise SimError(f"duration must be non-negative, got {duration!r}")
-        end = self.now + duration
         # Guard against float drift: run the exact number of ticks.
         n_ticks = int(round(duration / self.tick))
         if abs(n_ticks * self.tick - duration) > 1e-9 * max(1.0, duration):
             n_ticks = int(duration / self.tick) + 1
         for _ in range(n_ticks):
             self.step()
-        del end
 
     def run_until(self, t: float) -> None:
         if t < self.now:

@@ -15,7 +15,7 @@ VM it is addressed to/from on each machine, and the transport kind.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 #: Conventional Ethernet MTU used as a default packet size.

@@ -29,7 +29,7 @@ claimant, and redistributes whatever the parent grants.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.simnet.engine import SimError, Simulator
 

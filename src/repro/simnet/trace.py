@@ -11,7 +11,7 @@ diagnosis plane (agent/controller queries used by the algorithms).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.simnet.engine import Component, Simulator
 

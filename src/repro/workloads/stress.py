@@ -10,7 +10,6 @@ no packet work, it just occupies bus bandwidth — and records its
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.simnet.engine import Component, Simulator
 from repro.simnet.resources import Resource

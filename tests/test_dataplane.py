@@ -4,11 +4,9 @@ import pytest
 
 from repro.dataplane.fabric import ExternalHost, Fabric
 from repro.dataplane.machine import PhysicalMachine
-from repro.dataplane.params import DataplaneParams
 from repro.middleboxes.http import HttpServer
-from repro.simnet.engine import SimError, Simulator
-from repro.simnet.packet import Flow, PacketBatch
-from repro.transport.registry import TransportRegistry
+from repro.simnet.engine import SimError
+from repro.simnet.packet import Flow
 from repro.workloads.traffic import ExternalTrafficSource, VmUdpSender
 
 

@@ -1,8 +1,6 @@
 """Tests for the Section-5.1 disambiguation step (host gauges resolve the
 CPU-vs-memory-bandwidth ambiguity of aggregated TUN drops)."""
 
-import pytest
-
 from repro.core.diagnosis import ContentionDetector
 from repro.core.rulebook import CPU, MEMORY_BANDWIDTH
 from repro.middleboxes.http import HttpServer

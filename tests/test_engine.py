@@ -160,6 +160,32 @@ class TestEvents:
         with pytest.raises(SimError):
             sim.schedule_every(0.0, lambda: None)
 
+    def test_schedule_every_cancel(self):
+        sim = Simulator(tick=1e-3)
+        hits = []
+        handle = sim.schedule_every(0.01, lambda: hits.append(sim.now))
+        assert handle.active
+        sim.run(0.025)
+        assert len(hits) == 2
+        handle.cancel()
+        assert not handle.active
+        sim.run(0.05)
+        assert len(hits) == 2
+        handle.cancel()  # idempotent
+
+    def test_schedule_every_cancel_from_callback(self):
+        sim = Simulator(tick=1e-3)
+        hits = []
+
+        def fire():
+            hits.append(sim.now)
+            if len(hits) == 3:
+                handle.cancel()
+
+        handle = sim.schedule_every(0.01, fire)
+        sim.run(0.1)
+        assert len(hits) == 3
+
     def test_event_fires_before_phases(self):
         sim = Simulator(tick=1e-3)
         seen = []

@@ -8,8 +8,6 @@ the benchmarks that share their builders.
 import importlib.util
 import pathlib
 
-import pytest
-
 EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
 
 

@@ -1,8 +1,6 @@
 """Cross-module integration tests: multi-machine chains, full PerfSight
 loop over the wire, and the ticket-driven operator workflow."""
 
-import pytest
-
 from repro.cluster.chains import build_chain
 from repro.core.agent import Agent
 from repro.core.controller import Controller

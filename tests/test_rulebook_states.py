@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.diagnosis.states import MiddleboxState, classify_state
+from repro.core.diagnosis.states import classify_state
 from repro.core.records import StatRecord
 from repro.core.rulebook import (
     CPU,

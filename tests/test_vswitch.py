@@ -4,7 +4,7 @@ import pytest
 
 from repro.dataplane.vswitch import VirtualSwitch
 from repro.simnet.buffers import Buffer
-from repro.simnet.engine import SimError, Simulator
+from repro.simnet.engine import SimError
 from repro.simnet.packet import Flow, PacketBatch
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.dataplane.fabric import ExternalHost, Fabric
 from repro.dataplane.machine import PhysicalMachine
-from repro.middleboxes.http import HttpServer
 from repro.middleboxes.proxy import Proxy
 from repro.simnet.packet import Flow
 from repro.simnet.resources import Resource
