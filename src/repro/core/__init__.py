@@ -8,11 +8,25 @@ and the two diagnostic applications (Algorithms 1 and 2).
 """
 
 from repro.core.counters import CounterOverheadModel, CounterSet, IOTimeCounter
+from repro.core.health import (
+    DEAD,
+    DEGRADED,
+    HEALTHY,
+    AgentHealth,
+    DataQuality,
+    HealthPolicy,
+)
 from repro.core.records import StatRecord
 
 __all__ = [
+    "AgentHealth",
     "CounterOverheadModel",
     "CounterSet",
+    "DEAD",
+    "DEGRADED",
+    "DataQuality",
+    "HEALTHY",
+    "HealthPolicy",
     "IOTimeCounter",
     "StatRecord",
 ]

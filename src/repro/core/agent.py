@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
-from repro.core.channels import Channel
+from repro.core.channels import Channel, ChannelError, ChannelTimeout
 from repro.core.counters import CounterSnapshot
 from repro.core.records import StatRecord
 from repro.core.store import TimeSeriesStore
@@ -48,6 +48,8 @@ class Agent:
         self.total_cpu_s = 0.0
         self.total_queries = 0
         self.total_polls = 0
+        self.total_poll_errors = 0
+        self.total_poll_timeouts = 0
         self._poll_handle: Optional[PeriodicHandle] = None
         self.poll_period_s: Optional[float] = None
 
@@ -92,6 +94,17 @@ class Agent:
             chan = self._channels[element.name] = Channel(element, self.sim.rng)
         return chan
 
+    def channel(self, element_id: str) -> Channel:
+        """The collection channel for one element (created on demand).
+
+        Public so fault-injection helpers can degrade specific access
+        paths (:func:`repro.workloads.faults.inject_channel_faults`).
+        """
+        elements = self.elements()
+        if element_id not in elements:
+            raise KeyError(f"agent {self.name!r} has no element {element_id!r}")
+        return self._channel(elements[element_id])
+
     # -- queries ---------------------------------------------------------------------
 
     def query(
@@ -113,6 +126,11 @@ class Agent:
         Channel reads happen concurrently in the real agent (independent
         file descriptors), so the query latency is the max across the
         touched channels, not the sum.
+
+        Unlike the streaming sweep (:meth:`poll_once`), this synchronous
+        pull path propagates :class:`~repro.core.channels.ChannelFault`
+        to the caller — a pull that cannot read its target has nothing
+        to return.
         """
         elements = self.elements()
         if element_ids is None:
@@ -147,6 +165,13 @@ class Agent:
         Figure 9/16 overhead model carries over unchanged.  Snapshots of
         elements whose state did not change are delta-compressed away by
         the store.
+
+        A channel that errors or times out does not kill the sweep: the
+        fault is counted (here and on the channel itself), its cost is
+        still charged — a timed-out read wasted the full deadline — and
+        the remaining channels are read normally.  The element simply
+        contributes no fresh snapshot this sweep, which downstream
+        consumers observe as staleness.
         """
         now = self.sim.now
         stored = 0
@@ -155,7 +180,17 @@ class Agent:
         elements = self.elements()
         for eid in sorted(elements):
             chan = self._channel(elements[eid])
-            snap, latency = chan.read_versioned(now)
+            try:
+                snap, latency = chan.read_versioned(now)
+            except ChannelTimeout as exc:
+                self.total_poll_timeouts += 1
+                worst_latency = max(worst_latency, exc.latency_s)
+                cpu += chan.spec.cpu_cost_s
+                continue
+            except ChannelError:
+                self.total_poll_errors += 1
+                cpu += chan.spec.cpu_cost_s
+                continue
             if self.store.append(snap):
                 stored += 1
             worst_latency = max(worst_latency, latency)
@@ -208,14 +243,29 @@ class Agent:
     # -- overhead introspection (Figures 9 and 16) -------------------------------------
 
     def channel_stats(self) -> Dict[str, Dict[str, float]]:
-        """Per-element channel read counts / latency / CPU."""
+        """Per-element channel read counts / latency / CPU / faults."""
         out: Dict[str, Dict[str, float]] = {}
         for eid, chan in self._channels.items():
             out[eid] = {
                 "reads": float(chan.reads),
                 "total_latency_s": chan.total_latency_s,
                 "total_cpu_s": chan.total_cpu_s,
+                "errors": float(chan.errors),
+                "timeouts": float(chan.timeouts),
+                "stale_reads": float(chan.stale_reads),
             }
+        return out
+
+    def fault_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-element fault counts for channels that misbehaved at all."""
+        out: Dict[str, Dict[str, int]] = {}
+        for eid, chan in self._channels.items():
+            if chan.errors or chan.timeouts or chan.stale_reads:
+                out[eid] = {
+                    "errors": chan.errors,
+                    "timeouts": chan.timeouts,
+                    "stale_reads": chan.stale_reads,
+                }
         return out
 
     def poll_cpu_cost_s(self) -> float:

@@ -15,6 +15,14 @@ by long-running deployments, or explicitly by tests and tools that need
 pull semantics.  Agents are reached through an ``AgentHandle`` —
 in-process for simulations and tests, or the TCP client in
 :mod:`repro.core.net` for the real split-process deployment.
+
+The collection plane is failure-tolerant: a sync that cannot reach its
+agent feeds the mirror's :class:`~repro.core.health.AgentHealth` state
+machine instead of raising, and the controller keeps answering queries
+from the (now aging) mirror.  Callers that care can ask for the
+machine's :class:`~repro.core.health.DataQuality` annotation — or use
+the ``*_with_quality`` variants — to learn how trustworthy an answer
+is.
 """
 
 from __future__ import annotations
@@ -24,8 +32,16 @@ from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 from repro.cluster.topology import Tenant, VirtualNetwork
 from repro.core.agent import Agent
 from repro.core.counters import CounterSnapshot, CounterWindow
+from repro.core.health import AgentHealth, DataQuality, HealthPolicy
+from repro.core.net.client import AgentUnreachable
+from repro.core.net.protocol import ProtocolError
 from repro.core.records import StatRecord
 from repro.core.store import StoreError, TimeSeriesStore
+
+#: Failures of the collection path itself — swallowed into health
+#: tracking.  Anything else (an agent *refusing* an op, a programming
+#: error) still propagates.
+COLLECTION_ERRORS = (AgentUnreachable, ProtocolError, ConnectionError, OSError)
 
 
 class AgentHandle(Protocol):
@@ -49,22 +65,64 @@ class AgentHandle(Protocol):
 class AgentMirror:
     """Controller-side replica of one agent's time-series store."""
 
-    def __init__(self, machine: str, handle: AgentHandle) -> None:
+    def __init__(
+        self,
+        machine: str,
+        handle: AgentHandle,
+        health_policy: Optional[HealthPolicy] = None,
+    ) -> None:
         self.machine = machine
         self.handle = handle
         self.store = TimeSeriesStore()
         self.acked: Dict[str, int] = {}
         self.syncs = 0
+        self.failed_syncs = 0
         self.snapshots_received = 0
+        self.health = AgentHealth(health_policy)
+        self.last_error: Optional[BaseException] = None
 
     def sync(self) -> int:
-        """One BATCH_DELTA exchange; returns snapshots received."""
-        batch, cursor = self.handle.collect_delta(self.acked)
+        """One BATCH_DELTA exchange; returns snapshots received.
+
+        A sync the agent cannot serve (unreachable, protocol garbage)
+        records a health failure and returns 0 — the mirror keeps its
+        last known state and the controller keeps answering from it.
+        An agent that restarted re-numbers its sequences; the mirror
+        store detects the regression and re-baselines, so no window
+        ever spans the restart.
+        """
+        try:
+            batch, cursor = self.handle.collect_delta(self.acked)
+        except COLLECTION_ERRORS as exc:
+            self.failed_syncs += 1
+            self.last_error = exc
+            self.health.record_failure(exc)
+            return 0
         self.store.extend(batch)
         self.acked = dict(cursor)
         self.syncs += 1
         self.snapshots_received += len(batch)
+        self.health.record_success()
         return len(batch)
+
+    def data_quality(self, now: Optional[float] = None) -> DataQuality:
+        """The staleness annotation for answers served from this mirror."""
+        last_ts: Optional[float] = None
+        for eid in self.store.element_ids():
+            ts = self.store.latest(eid).timestamp
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+        age = None
+        if now is not None and last_ts is not None:
+            age = max(0.0, now - last_ts)
+        return DataQuality(
+            machine=self.machine,
+            state=self.health.state,
+            consecutive_failures=self.health.consecutive_failures,
+            failed_syncs=self.failed_syncs,
+            last_snapshot_ts=last_ts,
+            age_s=age,
+            resets=self.store.total_resets,
+        )
 
 
 class Controller:
@@ -78,11 +136,16 @@ class Controller:
 
     # -- registration -----------------------------------------------------------------
 
-    def register_agent(self, machine_name: str, agent: AgentHandle) -> None:
+    def register_agent(
+        self,
+        machine_name: str,
+        agent: AgentHandle,
+        health_policy: Optional[HealthPolicy] = None,
+    ) -> None:
         if machine_name in self._agents:
             raise ValueError(f"machine {machine_name!r} already has an agent")
         self._agents[machine_name] = agent
-        self._mirrors[machine_name] = AgentMirror(machine_name, agent)
+        self._mirrors[machine_name] = AgentMirror(machine_name, agent, health_policy)
 
     def register_local_agent(self, agent: Agent) -> None:
         """Convenience for in-process agents."""
@@ -128,9 +191,30 @@ class Controller:
         escape hatch for tests: after ``refresh()`` the mirrors reflect
         agent state as of now.  One batched exchange per machine,
         regardless of how many elements changed.
+
+        An unreachable agent does not raise: the failure feeds its
+        health state machine and the machine contributes 0 snapshots.
+        Check :meth:`health_for` / :meth:`data_quality` to observe it.
         """
         machines = [machine_name] if machine_name is not None else self.machines()
         return sum(self.mirror_for(m).sync() for m in machines)
+
+    # -- health and data quality ---------------------------------------------------------
+
+    def health_for(self, machine_name: str) -> AgentHealth:
+        """The health state machine tracking one agent's collection path."""
+        return self.mirror_for(machine_name).health
+
+    def data_quality(
+        self, machine_name: str, now: Optional[float] = None
+    ) -> DataQuality:
+        """Staleness/quality annotation for answers about one machine.
+
+        ``now`` (the caller's notion of current time — simulated time in
+        tests) turns the annotation's ``age_s`` on; without it only the
+        health state and failure counts are reported.
+        """
+        return self.mirror_for(machine_name).data_quality(now)
 
     def _locate(self, tenant_id: str, element_logical: str) -> Tuple[str, str]:
         return self.vnet(tenant_id).locate(element_logical)
@@ -165,6 +249,23 @@ class Controller:
         """
         machine, element_id = self._locate(tenant_id, element_logical)
         return self.mirror_latest(machine, element_id).to_record(attrs)
+
+    def get_attr_with_quality(
+        self,
+        tenant_id: str,
+        element_logical: str,
+        attrs: Optional[Iterable[str]] = None,
+        now: Optional[float] = None,
+    ) -> Tuple[StatRecord, DataQuality]:
+        """:meth:`get_attr` plus the serving mirror's quality annotation.
+
+        This is how a diagnosis application keeps getting answers while
+        an agent is down — the record is the mirror's last knowledge,
+        and the annotation says exactly how much to trust it.
+        """
+        machine, element_id = self._locate(tenant_id, element_logical)
+        record = self.mirror_latest(machine, element_id).to_record(attrs)
+        return record, self.data_quality(machine, now)
 
     def window(
         self,

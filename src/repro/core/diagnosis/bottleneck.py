@@ -21,7 +21,13 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.controller import Controller
 from repro.core.counters import CounterWindow
+from repro.core.diagnosis.report import (
+    CONFIDENCE_DEGRADED,
+    CONFIDENCE_FULL,
+    CONFIDENCE_MISSING,
+)
 from repro.core.diagnosis.states import classify_window
+from repro.core.store import StoreError
 
 
 class BottleneckDetector:
@@ -48,8 +54,13 @@ class BottleneckDetector:
         """Evaluate the suspicious set; returns per-middlebox evidence.
 
         Each entry carries ``tun_drops`` (individual-path loss),
-        ``cpu_bound`` (not Read/Write blocked while traffic flows) and
-        the combined ``is_bottleneck`` confirmation.
+        ``cpu_bound`` (not Read/Write blocked while traffic flows), the
+        combined ``is_bottleneck`` confirmation, and a ``confidence``
+        label: ``"full"`` over fresh counters, ``"degraded"`` when the
+        serving agent was unhealthy over the window, ``"missing"`` when
+        the mirror held no counters for the middlebox or its TUN (such
+        entries are never confirmed as bottlenecks — absence of data is
+        not absence of drops, so they stay unconfirmed but flagged).
         """
         window = window_s if window_s is not None else self.window_s
         vnet = self.controller.vnet(tenant_id)
@@ -62,29 +73,43 @@ class BottleneckDetector:
 
         for machine in machines:
             self.controller.refresh(machine)
-        before = {
-            name: self.controller.mirror_latest(machine, eid)
-            for name, (machine, eid) in located.items()
-        }
-        tun_before = {
-            name: self.controller.mirror_latest(machine, eid)
-            for name, (machine, eid) in tuns.items()
-        }
+        before = {}
+        tun_before = {}
+        for name in suspicious:
+            try:
+                machine, eid = located[name]
+                before[name] = self.controller.mirror_latest(machine, eid)
+                tun_machine, tun_id = tuns[name]
+                tun_before[name] = self.controller.mirror_latest(tun_machine, tun_id)
+            except (KeyError, StoreError):
+                pass
         self.advance(window)
         for machine in machines:
             self.controller.refresh(machine)
 
+        quality = {m: self.controller.data_quality(m) for m in machines}
         out: Dict[str, Dict[str, object]] = {}
         for name in suspicious:
             machine, eid = located[name]
-            win = CounterWindow(
-                start=before[name], end=self.controller.mirror_latest(machine, eid)
-            )
             tun_machine, tun_id = tuns[name]
-            tun_win = CounterWindow(
-                start=tun_before[name],
-                end=self.controller.mirror_latest(tun_machine, tun_id),
-            )
+            try:
+                win = CounterWindow(
+                    start=before[name],
+                    end=self.controller.mirror_latest(machine, eid),
+                )
+                tun_win = CounterWindow(
+                    start=tun_before[name],
+                    end=self.controller.mirror_latest(tun_machine, tun_id),
+                )
+            except (KeyError, StoreError):
+                out[name] = {
+                    "state": None,
+                    "tun_drops": 0.0,
+                    "cpu_bound": False,
+                    "is_bottleneck": False,
+                    "confidence": CONFIDENCE_MISSING,
+                }
+                continue
             capacity = win.end.get("capacity_bps", 0.0)
             state = None
             if capacity > 0:
@@ -96,11 +121,13 @@ class BottleneckDetector:
                 and not state.write_blocked
                 and win.delta("inBytes") > 0
             )
+            stale = quality[machine].stale or quality[tun_machine].stale
             out[name] = {
                 "state": state,
                 "tun_drops": tun_drops,
                 "cpu_bound": cpu_bound,
                 "is_bottleneck": tun_drops > 0 or cpu_bound,
+                "confidence": CONFIDENCE_DEGRADED if stale else CONFIDENCE_FULL,
             }
         return out
 

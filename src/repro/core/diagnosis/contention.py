@@ -17,10 +17,16 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional
 
-from repro.core.controller import Controller
+from repro.core.controller import COLLECTION_ERRORS, Controller
 from repro.core.counters import CounterWindow
-from repro.core.diagnosis.report import ContentionReport, ElementLoss
+from repro.core.diagnosis.report import (
+    CONFIDENCE_DEGRADED,
+    CONFIDENCE_FULL,
+    ContentionReport,
+    ElementLoss,
+)
 from repro.core.rulebook import RuleBook
+from repro.core.store import StoreError
 
 
 class ContentionDetector:
@@ -44,7 +50,15 @@ class ContentionDetector:
         agent = self.controller.agent_for(machine_name)
         stack_lister = getattr(agent, "stack_element_ids", None)
         if stack_lister is not None:
-            return stack_lister()
+            try:
+                return stack_lister()
+            except COLLECTION_ERRORS:
+                # The agent is unreachable; analyze whatever elements the
+                # mirror already holds.  That loses the stack scoping (apps
+                # rank alongside stack elements) but keeps the diagnosis
+                # running — the report is marked degraded via the machine's
+                # health state anyway.
+                return self.controller.mirror_for(machine_name).store.element_ids()
         # Fall back to the machine walk for in-process agents.
         machine = getattr(agent, "machine", None)
         if machine is None:
@@ -54,23 +68,37 @@ class ContentionDetector:
         return [e.name for e in machine.stack_elements()]
 
     def run(self, machine_name: str, window_s: Optional[float] = None) -> ContentionReport:
-        """Refresh, wait, refresh, rank; returns the full report."""
+        """Refresh, wait, refresh, rank; returns the full report.
+
+        Runs to completion on partial data: elements the mirror holds no
+        counters for are skipped (and listed as missing), and when the
+        machine's agent was unhealthy over the window — both ends served
+        from an aging mirror — the whole report is marked degraded
+        instead of presenting possibly stale verdicts as trusted.
+        """
         window = window_s if window_s is not None else self.window_s
         ids = self._stack_element_ids(machine_name)
         self.controller.refresh(machine_name)
-        starts = {
-            eid: self.controller.mirror_latest(machine_name, eid) for eid in ids
-        }
+        starts = {}
+        missing: List[str] = []
+        for eid in ids:
+            try:
+                starts[eid] = self.controller.mirror_latest(machine_name, eid)
+            except (KeyError, StoreError):
+                missing.append(eid)
         self.advance(window)
         self.controller.refresh(machine_name)
 
         ranked: List[ElementLoss] = []
         for eid in ids:
-            win = CounterWindow(
-                start=starts[eid],
-                end=self.controller.mirror_latest(machine_name, eid),
-            )
-            ranked.append(self._element_loss(win))
+            if eid in missing:
+                continue
+            try:
+                end = self.controller.mirror_latest(machine_name, eid)
+            except (KeyError, StoreError):
+                missing.append(eid)
+                continue
+            ranked.append(self._element_loss(CounterWindow(starts[eid], end)))
         ranked.sort(key=lambda el: -el.loss_pkts)
 
         drops_all: Dict[str, float] = {}
@@ -78,8 +106,16 @@ class ContentionDetector:
             for loc, pkts in el.drops_by_location.items():
                 drops_all[loc] = drops_all.get(loc, 0.0) + pkts
         verdicts = self.rulebook.diagnose_all(drops_all)
+        quality = self.controller.data_quality(machine_name)
+        degraded = quality.stale or bool(missing)
         report = ContentionReport(
-            machine=machine_name, window_s=window, ranked=ranked, verdicts=verdicts
+            machine=machine_name,
+            window_s=window,
+            ranked=ranked,
+            verdicts=verdicts,
+            data_quality=quality,
+            missing_elements=missing,
+            confidence=CONFIDENCE_DEGRADED if degraded else CONFIDENCE_FULL,
         )
         report.disambiguated = self._disambiguate(machine_name, verdicts)
         return report

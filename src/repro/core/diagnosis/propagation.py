@@ -23,8 +23,15 @@ from typing import Callable, Dict, List, Optional
 from repro.cluster.topology import VirtualNetwork
 from repro.core.controller import Controller
 from repro.core.counters import CounterWindow
-from repro.core.diagnosis.report import MiddleboxVerdict, RootCauseReport
+from repro.core.diagnosis.report import (
+    CONFIDENCE_DEGRADED,
+    CONFIDENCE_FULL,
+    CONFIDENCE_MISSING,
+    MiddleboxVerdict,
+    RootCauseReport,
+)
 from repro.core.diagnosis.states import MiddleboxState, classify_window
+from repro.core.store import StoreError
 
 STAT_ATTRS = ["inBytes", "inTime", "outBytes", "outTime"]
 
@@ -47,6 +54,14 @@ class RootCauseLocator:
         self.theta = theta
 
     def run(self, tenant_id: str, window_s: Optional[float] = None) -> RootCauseReport:
+        """Classify, eliminate, label — on whatever data is available.
+
+        A middlebox whose counters the mirror does not hold is excluded
+        from the elimination pass and reported with a ``no-data``
+        verdict; middleboxes served by an unhealthy agent keep their
+        verdicts but at ``degraded`` confidence (the Read/WriteBlocked
+        classification may rest on a stale window).
+        """
         window = window_s if window_s is not None else self.window_s
         vnet = self.controller.vnet(tenant_id)
         names = [node.name for node in vnet.middleboxes()]
@@ -55,20 +70,28 @@ class RootCauseLocator:
 
         for machine in machines:
             self.controller.refresh(machine)
-        starts = {
-            name: self.controller.mirror_latest(machine, eid)
-            for name, (machine, eid) in located.items()
-        }
+        starts = {}
+        missing: List[str] = []
+        for name, (machine, eid) in located.items():
+            try:
+                starts[name] = self.controller.mirror_latest(machine, eid)
+            except (KeyError, StoreError):
+                missing.append(name)
         self.advance(window)
         for machine in machines:
             self.controller.refresh(machine)
 
         states: Dict[str, MiddleboxState] = {}
         for name in names:
+            if name in missing:
+                continue
             machine, eid = located[name]
-            win = CounterWindow(
-                start=starts[name], end=self.controller.mirror_latest(machine, eid)
-            )
+            try:
+                end = self.controller.mirror_latest(machine, eid)
+            except (KeyError, StoreError):
+                missing.append(name)
+                continue
+            win = CounterWindow(start=starts[name], end=end)
             capacity = win.end.get("capacity_bps", 0.0)
             if capacity <= 0:
                 raise RuntimeError(
@@ -76,9 +99,8 @@ class RootCauseLocator:
                 )
             states[name] = classify_window(win, capacity, theta=self.theta, name=name)
 
-        candidates = set(names)
-        for name in names:
-            state = states[name]
+        candidates = {name for name in names if name in states}
+        for name, state in states.items():
             if state.read_blocked:
                 candidates.discard(name)
                 candidates.difference_update(vnet.successors_closure(name))
@@ -86,13 +108,29 @@ class RootCauseLocator:
                 candidates.discard(name)
                 candidates.difference_update(vnet.predecessors_closure(name))
 
+        quality = {m: self.controller.data_quality(m) for m in machines}
         verdicts: List[MiddleboxVerdict] = []
         for name in names:
+            machine, _ = located[name]
+            if name not in states:
+                verdicts.append(
+                    MiddleboxVerdict(name, None, False, "no-data", CONFIDENCE_MISSING)
+                )
+                continue
             state = states[name]
             is_root = name in candidates
             label = self._label(vnet, states, name, is_root)
-            verdicts.append(MiddleboxVerdict(name, state, is_root, label))
-        return RootCauseReport(tenant_id=tenant_id, window_s=window, verdicts=verdicts)
+            confidence = (
+                CONFIDENCE_DEGRADED if quality[machine].stale else CONFIDENCE_FULL
+            )
+            verdicts.append(MiddleboxVerdict(name, state, is_root, label, confidence))
+        return RootCauseReport(
+            tenant_id=tenant_id,
+            window_s=window,
+            verdicts=verdicts,
+            data_quality=quality,
+            missing=sorted(missing),
+        )
 
     @staticmethod
     def _label(

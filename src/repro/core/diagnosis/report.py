@@ -1,4 +1,12 @@
-"""Diagnosis report structures."""
+"""Diagnosis report structures.
+
+Every report carries degraded-mode metadata: when the counters a
+verdict depends on are stale (the serving agent's health is not
+HEALTHY) or missing (never mirrored), the verdict is flagged rather
+than silently presented as fully trusted — a diagnosis system must keep
+producing answers when its own measurement path degrades, but it must
+say so.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +14,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.diagnosis.states import MiddleboxState
+from repro.core.health import DataQuality
 from repro.core.rulebook import Verdict
+
+#: Verdict confidence labels used across the diagnosis reports.
+CONFIDENCE_FULL = "full"
+CONFIDENCE_DEGRADED = "degraded"
+CONFIDENCE_MISSING = "missing"
 
 
 @dataclass(frozen=True)
@@ -32,6 +46,19 @@ class ContentionReport:
     #: ambiguous {CPU, memory-bandwidth} pair, host utilization gauges
     #: pick one (None when unambiguous or indistinguishable).
     disambiguated: Optional[str] = None
+    #: Quality of the data the diagnosis ran over; None when the
+    #: controller predates health tracking (in-process tests).
+    data_quality: Optional[DataQuality] = None
+    #: Stack elements the mirror held no counters for (skipped, not
+    #: silently treated as loss-free).
+    missing_elements: List[str] = field(default_factory=list)
+    #: "full" when every input was fresh; "degraded" when verdicts rest
+    #: on stale or partial counters.
+    confidence: str = CONFIDENCE_FULL
+
+    @property
+    def degraded(self) -> bool:
+        return self.confidence != CONFIDENCE_FULL
 
     @property
     def worst(self) -> Optional[ElementLoss]:
@@ -39,6 +66,17 @@ class ContentionReport:
 
     def summary(self) -> str:
         lines = [f"Contention/bottleneck report for {self.machine} ({self.window_s}s):"]
+        if self.degraded:
+            detail = (
+                self.data_quality.describe()
+                if self.data_quality is not None
+                else "partial data"
+            )
+            lines.append(f"  !! DEGRADED confidence: {detail}")
+            if self.missing_elements:
+                lines.append(
+                    "  !! no counters for: " + ", ".join(self.missing_elements)
+                )
         for el in self.ranked[:5]:
             locs = ", ".join(
                 f"{loc}={pkts:.0f}" for loc, pkts in sorted(
@@ -58,9 +96,15 @@ class MiddleboxVerdict:
     """One middlebox's role in a propagation diagnosis."""
 
     name: str
-    state: MiddleboxState
+    #: None when the middlebox's counters were unavailable (its machine's
+    #: mirror held nothing for it) — the verdict then carries
+    #: ``confidence == "missing"``.
+    state: Optional[MiddleboxState]
     is_root_cause: bool
-    label: str  # "overloaded" | "underloaded" | "eliminated" | "unclear"
+    label: str  # "overloaded" | "underloaded" | "eliminated" | "unclear" | "no-data"
+    #: "full" for fresh counters, "degraded" when the serving agent was
+    #: unhealthy over the window, "missing" when there were none at all.
+    confidence: str = CONFIDENCE_FULL
 
 
 @dataclass
@@ -70,6 +114,16 @@ class RootCauseReport:
     tenant_id: str
     window_s: float
     verdicts: List[MiddleboxVerdict]
+    #: Per-machine quality of the mirrors the diagnosis read from.
+    data_quality: Dict[str, DataQuality] = field(default_factory=dict)
+    #: Middleboxes that could not be classified for lack of counters.
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.missing) or any(
+            v.confidence != CONFIDENCE_FULL for v in self.verdicts
+        )
 
     @property
     def root_causes(self) -> List[str]:
@@ -83,7 +137,16 @@ class RootCauseReport:
 
     def summary(self) -> str:
         lines = [f"Root-cause report for tenant {self.tenant_id} ({self.window_s}s):"]
+        if self.degraded:
+            stale = [q.describe() for q in self.data_quality.values() if q.stale]
+            detail = "; ".join(stale) if stale else "partial data"
+            lines.append(f"  !! DEGRADED confidence: {detail}")
         for v in self.verdicts:
             marker = "**ROOT CAUSE**" if v.is_root_cause else v.label
-            lines.append(f"  {v.state.describe()}  [{marker}]")
+            if v.confidence != CONFIDENCE_FULL:
+                marker += f", {v.confidence}"
+            described = (
+                v.state.describe() if v.state is not None else f"{v.name}: no data"
+            )
+            lines.append(f"  {described}  [{marker}]")
         return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Agent health tracking for the collection plane.
+
+PerfSight's controller depends on a fleet of per-server agents reached
+over a management network; both the agents and the network can fail
+while the dataplane being diagnosed keeps running.  A diagnosis system
+that dies with its own measurement path is useless exactly when it is
+needed most, so the controller tracks a small per-agent health state
+machine and keeps answering queries from its mirror stores — with an
+explicit data-quality annotation — while an agent is unreachable.
+
+States::
+
+    HEALTHY --(degraded_after consecutive failed syncs)--> DEGRADED
+    DEGRADED --(dead_after consecutive failed syncs)-----> DEAD
+    DEGRADED/DEAD --(recover_after consecutive successes)-> HEALTHY
+
+Thresholds are counted in *consecutive* collection attempts, not wall
+time, so the machine behaves identically under simulated and real
+clocks and under any refresh cadence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: The three agent health states, in degradation order.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+DEAD = "dead"
+
+HEALTH_STATES = (HEALTHY, DEGRADED, DEAD)
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds of the per-agent health state machine.
+
+    ``degraded_after`` consecutive failed syncs move a HEALTHY agent to
+    DEGRADED; ``dead_after`` consecutive failures to DEAD; and
+    ``recover_after`` consecutive successful syncs bring any non-HEALTHY
+    agent back to HEALTHY.
+    """
+
+    degraded_after: int = 1
+    dead_after: int = 3
+    recover_after: int = 1
+
+    def __post_init__(self) -> None:
+        if self.degraded_after < 1:
+            raise ValueError(f"degraded_after must be >= 1: {self.degraded_after!r}")
+        if self.dead_after < self.degraded_after:
+            raise ValueError(
+                f"dead_after ({self.dead_after!r}) must be >= degraded_after "
+                f"({self.degraded_after!r})"
+            )
+        if self.recover_after < 1:
+            raise ValueError(f"recover_after must be >= 1: {self.recover_after!r}")
+
+
+class AgentHealth:
+    """Tracks one agent's collection-path health at the controller."""
+
+    def __init__(self, policy: Optional[HealthPolicy] = None) -> None:
+        self.policy = policy if policy is not None else HealthPolicy()
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+        self.consecutive_successes = 0
+        self.total_failures = 0
+        self.total_successes = 0
+        self.last_error: Optional[BaseException] = None
+        #: Every (from_state, to_state) edge taken, in order.
+        self.transitions: List[Tuple[str, str]] = []
+
+    # -- event ingestion ---------------------------------------------------------
+
+    def record_success(self) -> str:
+        """One successful collection exchange; returns the new state."""
+        self.total_successes += 1
+        self.consecutive_failures = 0
+        self.consecutive_successes += 1
+        if (
+            self.state != HEALTHY
+            and self.consecutive_successes >= self.policy.recover_after
+        ):
+            self._transition(HEALTHY)
+        return self.state
+
+    def record_failure(self, error: Optional[BaseException] = None) -> str:
+        """One failed collection exchange; returns the new state."""
+        self.total_failures += 1
+        self.consecutive_successes = 0
+        self.consecutive_failures += 1
+        if error is not None:
+            self.last_error = error
+        if self.consecutive_failures >= self.policy.dead_after:
+            if self.state != DEAD:
+                self._transition(DEAD)
+        elif self.consecutive_failures >= self.policy.degraded_after:
+            if self.state == HEALTHY:
+                self._transition(DEGRADED)
+        return self.state
+
+    def _transition(self, new_state: str) -> None:
+        self.transitions.append((self.state, new_state))
+        self.state = new_state
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def healthy(self) -> bool:
+        return self.state == HEALTHY
+
+    def state_sequence(self) -> List[str]:
+        """The states visited so far, starting from HEALTHY."""
+        return [HEALTHY] + [to for _, to in self.transitions]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AgentHealth(state={self.state!r}, "
+            f"fails={self.consecutive_failures}, oks={self.consecutive_successes})"
+        )
+
+
+@dataclass(frozen=True)
+class DataQuality:
+    """Staleness/quality annotation attached to mirror-served answers.
+
+    ``state`` is the serving agent's health state at answer time;
+    ``last_snapshot_ts`` the newest counter timestamp the mirror holds
+    for that machine (None for an empty mirror); ``age_s`` how far that
+    timestamp lags the caller-supplied reference time, when one was
+    given.  ``resets`` counts counter re-baselines the mirror performed
+    (agent restarts observed through the data).
+    """
+
+    machine: str
+    state: str
+    consecutive_failures: int = 0
+    failed_syncs: int = 0
+    last_snapshot_ts: Optional[float] = None
+    age_s: Optional[float] = None
+    resets: int = 0
+
+    @property
+    def stale(self) -> bool:
+        """True when the answer may lag the dataplane's true state."""
+        return self.state != HEALTHY
+
+    @property
+    def degraded(self) -> bool:
+        """Alias of :attr:`stale` — verdict-level naming."""
+        return self.stale
+
+    def describe(self) -> str:
+        if not self.stale:
+            return f"{self.machine}: fresh ({self.state})"
+        age = f", data {self.age_s:.3f}s old" if self.age_s is not None else ""
+        return (
+            f"{self.machine}: STALE ({self.state}, "
+            f"{self.consecutive_failures} consecutive failed syncs{age})"
+        )

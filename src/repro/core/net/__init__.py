@@ -8,14 +8,22 @@ deployment path is exercised end-to-end (on localhost) by the
 integration tests.
 """
 
-from repro.core.net.client import RemoteAgentHandle
-from repro.core.net.protocol import ProtocolError, recv_message, send_message
+from repro.core.net.client import AgentUnreachable, RemoteAgentHandle, RetryPolicy
+from repro.core.net.protocol import (
+    IDEMPOTENT_OPS,
+    ProtocolError,
+    recv_message,
+    send_message,
+)
 from repro.core.net.server import AgentServer
 
 __all__ = [
     "AgentServer",
+    "AgentUnreachable",
+    "IDEMPOTENT_OPS",
     "ProtocolError",
     "RemoteAgentHandle",
+    "RetryPolicy",
     "recv_message",
     "send_message",
 ]

@@ -1,12 +1,31 @@
-"""TCP client implementing the controller's AgentHandle over the wire."""
+"""TCP client implementing the controller's AgentHandle over the wire.
+
+The management network between controller and agents is not reliable:
+connections are refused while an agent restarts, reset when it crashes
+mid-exchange, and stall when the network partitions.  The handle
+therefore wraps every operation in a bounded retry loop with jittered
+exponential backoff and a per-operation deadline.  Only idempotent ops
+(:data:`~repro.core.net.protocol.IDEMPOTENT_OPS` — PING, the listings,
+and BATCH_DELTA, whose ack vector makes replay safe) are retried
+blindly; a non-idempotent op is retried only when the failure provably
+happened before the request reached the peer (the connect failed).
+When the budget is exhausted the caller gets a typed
+:class:`AgentUnreachable` so the controller can feed its health state
+machine instead of crashing the collection plane.
+"""
 
 from __future__ import annotations
 
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
 import socket
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.counters import CounterSnapshot
 from repro.core.net.protocol import (
+    IDEMPOTENT_OPS,
     OP_LIST_ELEMENTS,
     OP_PING,
     OP_QUERY,
@@ -19,18 +38,96 @@ from repro.core.net.protocol import (
 from repro.core.records import StatRecord
 
 
+class AgentUnreachable(ConnectionError):
+    """An agent stayed unreachable through an operation's retry budget."""
+
+    def __init__(
+        self,
+        agent: str,
+        op: str,
+        attempts: int,
+        elapsed_s: float,
+        last_error: Optional[BaseException],
+    ) -> None:
+        super().__init__(
+            f"agent {agent} unreachable: {op!r} failed after {attempts} "
+            f"attempt(s) in {elapsed_s:.3f}s (last error: {last_error!r})"
+        )
+        self.agent = agent
+        self.op = op
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+        self.last_error = last_error
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budget for one wire operation.
+
+    ``max_attempts`` bounds how often the request is tried in total;
+    between attempts the client sleeps ``base_delay_s * 2^n`` capped at
+    ``max_delay_s``, shrunk by up to ``jitter`` (a fraction of the
+    delay) so a fleet of controllers retrying a rebooted agent does not
+    synchronize.  ``deadline_s`` caps the whole operation including the
+    sleeps: a retry that cannot finish before the deadline is not
+    started.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    deadline_s: float = 10.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts!r}")
+        if self.base_delay_s < 0 or self.max_delay_s < self.base_delay_s:
+            raise ValueError(
+                f"need 0 <= base_delay_s <= max_delay_s: "
+                f"{self.base_delay_s!r}, {self.max_delay_s!r}"
+            )
+        if self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive: {self.deadline_s!r}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be within [0, 1]: {self.jitter!r}")
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Sleep before retry number ``attempt`` (0-based), jittered."""
+        delay = min(self.max_delay_s, self.base_delay_s * (2.0 ** attempt))
+        if self.jitter > 0:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+
 class RemoteAgentHandle:
     """Controller-side proxy for an agent behind an :class:`AgentServer`.
 
     Keeps one persistent connection (reconnecting on failure); all
-    operations are synchronous request/response.
+    operations are synchronous request/response with the retry policy
+    above.  ``sleep``, ``clock`` and ``rng`` are injectable so tests can
+    drive the retry loop deterministically without real waiting.
     """
 
-    def __init__(self, host: str, port: int, name: str = "", timeout_s: float = 5.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        name: str = "",
+        timeout_s: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+        rng: Optional[random.Random] = None,
+    ):
         self.host = host
         self.port = port
         self.name = name or f"remote-agent@{host}:{port}"
         self.timeout_s = timeout_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._clock = clock
+        self._rng = rng if rng is not None else random.Random()
         self._sock: Optional[socket.socket] = None
 
     # -- connection management ----------------------------------------------------
@@ -51,16 +148,35 @@ class RemoteAgentHandle:
                 self._sock = None
 
     def _call(self, request: dict) -> dict:
-        for attempt in (0, 1):
-            sock = self._connect()
+        op = str(request.get("op"))
+        blind_retry = op in IDEMPOTENT_OPS
+        started = self._clock()
+        deadline = started + self.retry.deadline_s
+        attempts = 0
+        while True:
+            sent = False
             try:
+                sock = self._connect()
                 send_message(sock, request)
+                sent = True
                 response = recv_message(sock)
                 break
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError) as exc:
                 self.close()
-                if attempt == 1:
-                    raise
+                attempts += 1
+                # A non-idempotent request that may have reached the peer
+                # must not be replayed: the failure is terminal.
+                retryable = blind_retry or not sent
+                if not retryable or attempts >= self.retry.max_attempts:
+                    raise AgentUnreachable(
+                        self.name, op, attempts, self._clock() - started, exc
+                    ) from exc
+                delay = self.retry.backoff_s(attempts - 1, self._rng)
+                if self._clock() + delay > deadline:
+                    raise AgentUnreachable(
+                        self.name, op, attempts, self._clock() - started, exc
+                    ) from exc
+                self._sleep(delay)
         if not response.get("ok"):
             raise RuntimeError(
                 f"agent {self.name} refused {request.get('op')!r}: "

@@ -30,6 +30,16 @@ OP_STACK_ELEMENTS = "stack_elements"
 OP_QUERY = "query"
 OP_BATCH_DELTA = "batch_delta"
 
+#: Ops a client may retry blindly after a transport failure.  PING and
+#: the listings are pure reads; BATCH_DELTA carries the collector's ack
+#: vector, so replaying it at worst re-sends snapshots the mirror
+#: dedupes.  QUERY is excluded: it perturbs the agent's per-query
+#: overhead accounting (the Figure 16 surface), so a client must not
+#: replay one it cannot prove went unprocessed.
+IDEMPOTENT_OPS = frozenset(
+    {OP_PING, OP_LIST_ELEMENTS, OP_STACK_ELEMENTS, OP_BATCH_DELTA}
+)
+
 _HEADER = struct.Struct(">I")
 
 
@@ -42,14 +52,27 @@ def make_batch_delta_request(acked: Optional[Mapping[str, int]]) -> Dict[str, An
 
 
 def parse_acked(payload: Mapping[str, Any]) -> Dict[str, int]:
-    """Validate the ``acked`` field of a BATCH_DELTA request."""
+    """Validate the ``acked`` field of a BATCH_DELTA request.
+
+    Sequence numbers must be actual non-negative integers: booleans
+    (which Python would silently treat as 0/1), negatives, floats and
+    strings are all schema violations from a confused or hostile peer.
+    """
     raw = payload.get("acked") or {}
     if not isinstance(raw, Mapping):
         raise ProtocolError(f"acked must be a mapping, got {type(raw).__name__}")
-    try:
-        return {str(k): int(v) for k, v in raw.items()}
-    except (TypeError, ValueError) as exc:
-        raise ProtocolError(f"bad acked sequence number: {exc}") from exc
+    out: Dict[str, int] = {}
+    for key, value in raw.items():
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError(
+                f"acked seq for {key!r} must be an integer, got {value!r}"
+            )
+        if value < 0:
+            raise ProtocolError(
+                f"acked seq for {key!r} must be non-negative, got {value!r}"
+            )
+        out[str(key)] = value
+    return out
 
 
 class ProtocolError(Exception):

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import socket
 import socketserver
 import threading
 from typing import Optional, Tuple
@@ -29,16 +30,25 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
         while True:
             try:
                 request = recv_message(self.request)
-            except ConnectionError:
+            except (ConnectionError, OSError):
                 return
             except ProtocolError as exc:
-                send_message(self.request, {"ok": False, "error": str(exc)})
+                self._respond({"ok": False, "error": str(exc)})
                 return
             try:
                 response = self._dispatch(agent, lock, request)
             except Exception as exc:  # surfaced to the client, not the server
                 response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            if not self._respond(response):
+                return
+
+    def _respond(self, response: dict) -> bool:
+        """Send one response frame; False when the peer is gone."""
+        try:
             send_message(self.request, response)
+            return True
+        except (ConnectionError, OSError):
+            return False
 
     @staticmethod
     def _dispatch(agent: Agent, lock: threading.Lock, request: dict) -> dict:
@@ -71,15 +81,64 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
         return {"ok": False, "error": f"unknown op: {op!r}"}
 
 
+class _AgentTCPServer(socketserver.ThreadingTCPServer):
+    """ThreadingTCPServer that can enumerate and sever live connections.
+
+    Handler threads sit blocked in ``recv`` on their connection sockets;
+    a plain ``shutdown()`` only stops the accept loop and would leave
+    those threads (and their fds) lingering until process exit.  The
+    accept path records every connection socket so
+    :meth:`close_lingering` can shut them down, which unblocks the
+    handlers immediately.
+
+    ``allow_reuse_address`` lets a restarted agent rebind its old port
+    right away — the recovery path the controller's health tracking is
+    built to observe.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._handler_socks: set = set()
+        self._handler_socks_lock = threading.Lock()
+
+    def process_request(self, request, client_address) -> None:
+        with self._handler_socks_lock:
+            self._handler_socks.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request) -> None:
+        with self._handler_socks_lock:
+            self._handler_socks.discard(request)
+        super().shutdown_request(request)
+
+    def close_lingering(self) -> int:
+        """Sever every connection still open; returns how many."""
+        with self._handler_socks_lock:
+            lingering = list(self._handler_socks)
+            self._handler_socks.clear()
+        for sock in lingering:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        return len(lingering)
+
+
 class AgentServer:
     """Runs an agent behind a localhost TCP endpoint in a daemon thread."""
 
     def __init__(self, agent: Agent, host: str = "127.0.0.1", port: int = 0) -> None:
         self.agent = agent
-        self._server = socketserver.ThreadingTCPServer(
+        self._server = _AgentTCPServer(
             (host, port), _AgentRequestHandler, bind_and_activate=True
         )
-        self._server.daemon_threads = True
         self._server.agent = agent  # type: ignore[attr-defined]
         self._server.agent_lock = threading.Lock()  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
@@ -87,6 +146,10 @@ class AgentServer:
     @property
     def address(self) -> Tuple[str, int]:
         return self._server.server_address  # type: ignore[return-value]
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
 
     def start(self) -> "AgentServer":
         if self._thread is not None:
@@ -98,15 +161,28 @@ class AgentServer:
         self._thread.start()
         return self
 
-    def stop(self) -> None:
-        self._server.shutdown()
+    def shutdown(self) -> None:
+        """Stop accepting, sever live connections, release the port.
+
+        Safe to call more than once.  Severing the handler sockets is
+        what keeps tests from leaking blocked threads/fds — and what
+        makes a kill look like a crash to connected controllers (their
+        next read fails immediately instead of hanging).
+        """
+        if self._thread is not None:
+            self._server.shutdown()
+        self._server.close_lingering()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
 
+    def stop(self) -> None:
+        """Alias of :meth:`shutdown` (historical name)."""
+        self.shutdown()
+
     def __enter__(self) -> "AgentServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:
-        self.stop()
+        self.shutdown()

@@ -17,10 +17,11 @@ already-collected deltas.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.core.controller import Controller
 from repro.core.counters import CounterWindow
+from repro.core.health import DataQuality
 from repro.core.records import StatRecord
 
 Advance = Callable[[float], None]
@@ -30,13 +31,20 @@ class QueryRunner:
     """Windowed differencing over the controller's mirror stores."""
 
     def __init__(
-        self, controller: Controller, advance: Advance, interval_s: float = 1.0
+        self,
+        controller: Controller,
+        advance: Advance,
+        interval_s: float = 1.0,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError(f"interval must be positive: {interval_s!r}")
         self.controller = controller
         self.advance = advance
         self.interval_s = interval_s
+        #: Time source matching ``advance`` (``lambda: sim.now`` for a
+        #: simulation); enables age computation on quality annotations.
+        self.clock = clock
 
     # -- primitives --------------------------------------------------------------
 
@@ -52,6 +60,22 @@ class QueryRunner:
         interval_s: Optional[float] = None,
     ) -> CounterWindow:
         """<refresh, sleep(T), refresh> then one mirror window lookup."""
+        return self.observe_window_with_quality(tenant_id, element, interval_s)[0]
+
+    def observe_window_with_quality(
+        self,
+        tenant_id: str,
+        element: str,
+        interval_s: Optional[float] = None,
+    ) -> Tuple[CounterWindow, DataQuality]:
+        """:meth:`observe_window` plus the mirror's quality annotation.
+
+        When the machine's agent is unreachable both refreshes are
+        no-ops and the window collapses onto the mirror's last known
+        snapshot (an empty window — rates read as 0); the annotation is
+        what tells the caller that 0 means "no fresh data", not "no
+        traffic".
+        """
         t = interval_s if interval_s is not None else self.interval_s
         machine, element_id = self.controller.vnet(tenant_id).locate(element)
         self.controller.refresh(machine)
@@ -59,7 +83,9 @@ class QueryRunner:
         self.advance(t)
         self.controller.refresh(machine)
         end = self.controller.mirror_latest(machine, element_id)
-        return CounterWindow(start=start, end=end)
+        window = CounterWindow(start=start, end=end)
+        now = self.clock() if self.clock is not None else None
+        return window, self.controller.data_quality(machine, now=now)
 
     # -- Figure 6 routines ---------------------------------------------------------------
 

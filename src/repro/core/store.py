@@ -12,6 +12,16 @@ mirror — no per-query RPC, no re-reading of overlapping intervals.
 Snapshots are delta-compressed on ingest: an element whose sequence
 number did not advance (nothing observable changed) is not stored
 again, so idle elements cost nothing beyond their first sample.
+
+An agent restart breaks the monotonicity the windowed differencing
+relies on: the new process re-numbers sequences from zero (element
+objects recreated) and/or re-counts from zero (kernel counters reset
+with the device, middlebox restarted).  Diffing across that boundary
+would emit huge negative deltas, so on either signature — a sequence
+regression, or a shrinking monotonic counter — the store **re-baselines**
+the element: it drops the pre-restart history and restarts the series
+from the incoming snapshot, counting the event in :attr:`resets`.
+Diagnosis windows then never straddle a restart.
 """
 
 from __future__ import annotations
@@ -25,23 +35,53 @@ from repro.core.counters import CounterSnapshot, CounterWindow
 #: history per element, far beyond any diagnosis window in the paper.
 DEFAULT_CAPACITY_PER_ELEMENT = 256
 
+#: Monotonic counters whose regression marks a counter reset even when
+#: the sequence number kept advancing (element object survived, counter
+#: state was zeroed underneath it).
+RESET_SENTINEL_ATTRS = (
+    "rx_pkts",
+    "rx_bytes",
+    "tx_pkts",
+    "tx_bytes",
+    "drops",
+    "in_time",
+    "out_time",
+)
+
 
 class StoreError(KeyError):
     """Raised for lookups against data the store does not (yet) hold."""
 
 
 class TimeSeriesStore:
-    """Bounded, per-element ring buffers of versioned counter snapshots."""
+    """Bounded, per-element ring buffers of versioned counter snapshots.
 
-    def __init__(self, capacity_per_element: int = DEFAULT_CAPACITY_PER_ELEMENT):
+    ``on_regression`` selects what a non-monotonic ingest does:
+    ``"rebaseline"`` (default) restarts the element's series from the
+    incoming snapshot, ``"raise"`` keeps the old strict behaviour for
+    stores whose producer is known never to restart.
+    """
+
+    def __init__(
+        self,
+        capacity_per_element: int = DEFAULT_CAPACITY_PER_ELEMENT,
+        on_regression: str = "rebaseline",
+    ):
         if capacity_per_element < 2:
             raise ValueError(
                 f"capacity must hold at least a window pair: {capacity_per_element!r}"
             )
+        if on_regression not in ("rebaseline", "raise"):
+            raise ValueError(
+                f"on_regression must be 'rebaseline' or 'raise': {on_regression!r}"
+            )
         self.capacity_per_element = capacity_per_element
+        self.on_regression = on_regression
         self._series: Dict[str, Deque[CounterSnapshot]] = {}
         self.total_appended = 0
         self.total_deduped = 0
+        self.resets: Dict[str, int] = {}
+        self.total_resets = 0
 
     # -- ingest -----------------------------------------------------------------
 
@@ -62,17 +102,43 @@ class TimeSeriesStore:
             )
         if series:
             latest = series[-1]
-            if snap.seq < latest.seq:
-                raise ValueError(
-                    f"non-monotonic snapshot for {snap.element_id!r}: "
-                    f"seq {snap.seq} after {latest.seq}"
-                )
             if snap.seq == latest.seq:
                 self.total_deduped += 1
                 return False
+            if self._is_reset(latest, snap):
+                if self.on_regression == "raise":
+                    raise ValueError(
+                        f"non-monotonic snapshot for {snap.element_id!r}: "
+                        f"seq {snap.seq} after {latest.seq}"
+                    )
+                series.clear()
+                self.resets[snap.element_id] = (
+                    self.resets.get(snap.element_id, 0) + 1
+                )
+                self.total_resets += 1
         series.append(snap)
         self.total_appended += 1
         return True
+
+    @staticmethod
+    def _is_reset(latest: CounterSnapshot, snap: CounterSnapshot) -> bool:
+        """Did the element restart between ``latest`` and ``snap``?
+
+        Two signatures: the sequence number went backwards (the producer
+        re-numbered from scratch), or a monotonic counter shrank while
+        the sequence advanced (the counter state was zeroed under a
+        surviving producer).
+        """
+        if snap.seq < latest.seq:
+            return True
+        for attr in RESET_SENTINEL_ATTRS:
+            if (
+                attr in snap
+                and attr in latest
+                and snap.get(attr) < latest.get(attr) - 1e-9
+            ):
+                return True
+        return False
 
     def extend(self, snaps: Iterable[CounterSnapshot]) -> int:
         """Append many snapshots; returns how many were actually stored."""
@@ -157,12 +223,21 @@ class TimeSeriesStore:
 
         Returned oldest-first per element so a mirror replaying the batch
         converges to the same series order.
+
+        A floor *above* the element's newest stored sequence means the
+        collector acknowledged a previous incarnation of the producer
+        (it restarted and re-numbered); everything held is resent so the
+        mirror can observe the regression and re-baseline.
         """
         out: List[CounterSnapshot] = []
         for eid in sorted(self._series):
             floor = acked.get(eid, -1)
             series = self._series[eid]
-            if series and series[-1].seq <= floor:
+            if not series:
+                continue
+            if series[-1].seq < floor:
+                floor = -1
+            elif series[-1].seq == floor:
                 continue
             out.extend(snap for snap in series if snap.seq > floor)
         return out

@@ -7,7 +7,11 @@ scenarios of Section 7; fault helpers schedule the paper's injected
 problems (memory leak, performance bug, workload phase changes).
 """
 
-from repro.workloads.faults import schedule_phases
+from repro.workloads.faults import (
+    channel_fault_phase,
+    inject_channel_faults,
+    schedule_phases,
+)
 from repro.workloads.stress import CpuHog, MemoryHog
 from repro.workloads.traffic import ExternalTrafficSource, VmUdpSender
 
@@ -16,5 +20,7 @@ __all__ = [
     "ExternalTrafficSource",
     "MemoryHog",
     "VmUdpSender",
+    "channel_fault_phase",
+    "inject_channel_faults",
     "schedule_phases",
 ]

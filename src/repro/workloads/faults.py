@@ -10,12 +10,22 @@ Performance-bug injection on middleboxes uses the app's ``slowdown``
 knob (:func:`inject_perf_bug`) — the "soft failure" of a buggy software
 upgrade described in Section 2.2 — or, for the NFS server, the
 stateful memory-leak model in :mod:`repro.middleboxes.nfs`.
+
+Collection-plane faults use the same declarative style: the agent's
+element channels (device files, /proc, OpenFlow, QEMU logs, middlebox
+sockets) get per-read error/timeout/staleness probabilities
+(:func:`inject_channel_faults`), and :func:`channel_fault_phase` packs
+an injection plus its undo into a phase tuple so a Figure-8-style
+timeline can degrade the *measurement path* mid-experiment and watch
+the diagnosis plane ride it out.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Tuple
+import warnings
+from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro.core.channels import ChannelFaultPlan
 from repro.simnet.engine import Simulator
 
 Phase = Tuple[float, Optional[float], Callable[[], None], Optional[Callable[[], None]]]
@@ -25,9 +35,28 @@ def schedule_phases(sim: Simulator, phases: Iterable[Phase]) -> None:
     """Register a list of timed phases.
 
     Each phase is ``(start_s, end_s, on_enter, on_exit)``; ``end_s`` or
-    ``on_exit`` may be None for open-ended phases.
+    ``on_exit`` may be None for open-ended phases.  The whole list is
+    validated before anything is scheduled, so a bad phase cannot leave
+    a timeline half-registered: ``end_s <= start_s`` is rejected, and an
+    ``end_s`` with no ``on_exit`` (an end time that cannot do anything)
+    draws a warning.
     """
-    for start, end, on_enter, on_exit in phases:
+    validated: List[Phase] = []
+    for index, (start, end, on_enter, on_exit) in enumerate(phases):
+        if start < 0:
+            raise ValueError(f"phase {index}: start_s must be >= 0, got {start!r}")
+        if end is not None and end <= start:
+            raise ValueError(
+                f"phase {index}: end_s ({end!r}) must be after start_s ({start!r})"
+            )
+        if end is not None and on_exit is None:
+            warnings.warn(
+                f"phase {index}: end_s={end!r} given without on_exit — "
+                "the phase never ends; drop end_s or supply on_exit",
+                stacklevel=2,
+            )
+        validated.append((start, end, on_enter, on_exit))
+    for start, end, on_enter, on_exit in validated:
         sim.schedule(start, on_enter)
         if end is not None and on_exit is not None:
             sim.schedule(end, on_exit)
@@ -49,3 +78,77 @@ def inject_perf_bug(app, slowdown_factor: float) -> Callable[[], None]:
         app.slowdown = previous
 
     return undo
+
+
+def inject_channel_faults(
+    agent,
+    element_ids: Optional[Iterable[str]] = None,
+    *,
+    error_rate: float = 0.0,
+    timeout_rate: float = 0.0,
+    stale_rate: float = 0.0,
+) -> Callable[[], None]:
+    """Degrade an agent's collection channels; returns the undo.
+
+    Installs one :class:`ChannelFaultPlan` on every targeted channel
+    (all of the agent's elements when ``element_ids`` is None).  The
+    undo restores each channel's previous plan, so injections nest the
+    same way :func:`inject_perf_bug` does.
+    """
+    plan = ChannelFaultPlan(
+        error_rate=error_rate, timeout_rate=timeout_rate, stale_rate=stale_rate
+    )
+    targets = (
+        list(element_ids) if element_ids is not None else agent.element_ids()
+    )
+    previous = []
+    for eid in targets:
+        chan = agent.channel(eid)
+        previous.append((chan, chan.set_fault_plan(plan)))
+
+    def undo() -> None:
+        for chan, old_plan in previous:
+            chan.fault_plan = old_plan
+
+    return undo
+
+
+def channel_fault_phase(
+    agent,
+    start_s: float,
+    end_s: Optional[float],
+    element_ids: Optional[Iterable[str]] = None,
+    *,
+    error_rate: float = 0.0,
+    timeout_rate: float = 0.0,
+    stale_rate: float = 0.0,
+) -> Phase:
+    """A schedulable phase that degrades collection channels, then heals.
+
+    Pass the result straight into :func:`schedule_phases`, alongside the
+    dataplane fault phases of Figure 8 — the injection happens at
+    ``start_s`` and is undone at ``end_s`` (or never, when None).
+    """
+    # Validate the rates eagerly, not at phase-enter time inside the
+    # event loop, where the error would surface far from its cause.
+    ChannelFaultPlan(
+        error_rate=error_rate, timeout_rate=timeout_rate, stale_rate=stale_rate
+    )
+    undo_box: List[Callable[[], None]] = []
+
+    def on_enter() -> None:
+        undo_box.append(
+            inject_channel_faults(
+                agent,
+                element_ids,
+                error_rate=error_rate,
+                timeout_rate=timeout_rate,
+                stale_rate=stale_rate,
+            )
+        )
+
+    def on_exit() -> None:
+        if undo_box:
+            undo_box.pop()()
+
+    return (start_s, end_s, on_enter, on_exit if end_s is not None else None)

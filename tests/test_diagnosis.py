@@ -9,6 +9,7 @@ from repro.core.diagnosis import (
     RootCauseLocator,
 )
 from repro.core.diagnosis.operator import OperatorConsole
+from repro.core.diagnosis.report import CONFIDENCE_FULL, CONFIDENCE_MISSING
 from repro.core.rulebook import INCOMING_BANDWIDTH, VM_BOTTLENECK
 from repro.middleboxes.http import HttpClient, HttpServer
 from repro.middleboxes.proxy import Proxy
@@ -166,6 +167,59 @@ class TestBottleneckDetector:
         assert out["proxy"]["is_bottleneck"]
         assert out["proxy"]["cpu_bound"]
         assert not out["server"]["is_bottleneck"]
+
+
+class TestDegradedDiagnosis:
+    """Algorithms keep producing (flagged) answers on partial data."""
+
+    def chain_with_unserved_proxy(self, h, machine):
+        """The Figure-12 chain, but the proxy's counters are never
+        exposed through the agent — a collection gap, not a dataplane
+        one (the proxy still forwards traffic)."""
+        client = HttpClient(
+            h.sim, machine.add_vm("vm-c", vnic_bps=100e6), "client"
+        )
+        proxy = Proxy(h.sim, machine.add_vm("vm-p", vnic_bps=100e6), "proxy")
+        server = HttpServer(
+            h.sim, machine.add_vm("vm-s", vnic_bps=100e6), "server",
+            cpu_per_byte=2e-9,
+        )
+        tenant = h.add_tenant("t1")
+        build_chain([client, proxy, server], tenant.vnet)
+        for app in (client, server):  # proxy deliberately left out
+            h.register_app(app)
+        return client, proxy, server
+
+    def test_missing_middlebox_flagged_not_blamed(self):
+        h = Harness()
+        machine = h.add_machine("m1")
+        self.chain_with_unserved_proxy(h, machine)
+        h.advance(5.0)
+        locator = RootCauseLocator(h.controller, h.advance, window_s=2.0)
+        report = locator.run("t1")
+        assert report.missing == ["proxy"]
+        verdict = report.verdict("proxy")
+        assert verdict.state is None
+        assert verdict.label == "no-data"
+        assert verdict.confidence == CONFIDENCE_MISSING
+        assert not verdict.is_root_cause  # absence of data is not evidence
+        assert report.degraded
+        assert "no data" in report.summary()
+        # The reachable middleboxes were still classified normally.
+        assert report.verdict("client").state is not None
+        assert report.verdict("client").confidence == CONFIDENCE_FULL
+
+    def test_bottleneck_detector_reports_missing_entries(self):
+        h = Harness()
+        machine = h.add_machine("m1")
+        self.chain_with_unserved_proxy(h, machine)
+        h.advance(5.0)
+        det = BottleneckDetector(h.controller, h.advance, window_s=2.0)
+        out = det.run("t1", suspicious=["proxy", "server"])
+        assert out["proxy"]["confidence"] == CONFIDENCE_MISSING
+        assert out["proxy"]["state"] is None
+        assert not out["proxy"]["is_bottleneck"]  # unconfirmed, not acquitted
+        assert out["server"]["confidence"] == CONFIDENCE_FULL
 
 
 class TestOperatorConsole:

@@ -117,11 +117,61 @@ class TestTimeSeriesStore:
         # The first-observed timestamp is retained for a deduped seq.
         assert st.latest("e1").timestamp == 1.0
 
-    def test_non_monotonic_rejected(self):
-        st = TimeSeriesStore()
+    def test_non_monotonic_rejected_in_strict_mode(self):
+        st = TimeSeriesStore(on_regression="raise")
         st.append(snap(5, 0.0))
         with pytest.raises(ValueError, match="non-monotonic"):
             st.append(snap(4, 1.0))
+
+    def test_bad_on_regression_rejected(self):
+        with pytest.raises(ValueError, match="on_regression"):
+            TimeSeriesStore(on_regression="ignore")
+
+    def test_seq_regression_rebaselines_by_default(self):
+        """An agent restart re-numbers sequences; the store must restart
+        the series instead of raising or diffing across the boundary."""
+        st = TimeSeriesStore()
+        st.append(snap(5, 0.0, rx_pkts=500.0))
+        st.append(snap(6, 1.0, rx_pkts=600.0))
+        assert st.append(snap(1, 2.0, rx_pkts=10.0))  # restarted producer
+        assert st.latest("e1").seq == 1
+        assert [s.seq for s in st.changed_since({})] == [1]
+        assert st.resets == {"e1": 1} and st.total_resets == 1
+        # Windows can no longer straddle the restart: the fallback start
+        # is the post-restart baseline, so deltas never go negative.
+        w = st.window("e1", -10.0, 2.0)
+        assert w.delta("rx_pkts") == 0.0
+
+    def test_counter_regression_rebaselines_even_with_monotonic_seq(self):
+        """Kernel counters zeroed under a surviving element: seq keeps
+        advancing but rx_pkts shrinks — still a reset."""
+        st = TimeSeriesStore()
+        st.append(snap(5, 0.0, rx_pkts=500.0))
+        assert st.append(snap(6, 1.0, rx_pkts=3.0))
+        assert st.total_resets == 1
+        assert [s.seq for s in st.changed_since({})] == [6]
+        st.append(snap(7, 2.0, rx_pkts=8.0))
+        assert st.window("e1", 0.0, 2.0).delta("rx_pkts") == 5.0
+
+    def test_gauge_shrink_is_not_a_reset(self):
+        """Non-monotonic gauges (queue depth) shrink legitimately."""
+        st = TimeSeriesStore()
+        st.append(snap(1, 0.0, rx_pkts=10.0, queue_pkts=50.0))
+        st.append(snap(2, 1.0, rx_pkts=20.0, queue_pkts=5.0))
+        assert st.total_resets == 0
+        assert len(st) == 2
+
+    def test_changed_since_resends_after_producer_restart(self):
+        """A floor above the newest stored seq means the collector acked
+        a previous incarnation — everything is resent so the mirror can
+        observe the regression and re-baseline itself."""
+        st = TimeSeriesStore()
+        st.append(snap(1, 10.0, rx_pkts=1.0))
+        st.append(snap(2, 11.0, rx_pkts=2.0))
+        batch = st.changed_since({"e1": 900})
+        assert [s.seq for s in batch] == [1, 2]
+        # An exactly-caught-up collector still gets nothing.
+        assert st.changed_since({"e1": 2}) == []
 
     def test_ring_evicts_oldest(self):
         st = TimeSeriesStore(capacity_per_element=3)
