@@ -7,6 +7,7 @@ Runs the reproduction's experiments and demos from a shell:
 * ``fig10``             — the backlog-contention experiment summary
 * ``table1``            — rebuild the Table-1 rule book
 * ``fig16``             — poll-frequency vs agent CPU table
+* ``obs``               — self-observability demo: spans/metrics/events
 * ``list``              — the experiment inventory with paper references
 """
 
@@ -28,6 +29,8 @@ EXPERIMENTS = {
     "table2": "time-counter overhead (Table 2)",
     "fig15": "overhead across middlebox types (Figure 15)",
     "fig16": "poll frequency vs agent CPU (Figure 16)",
+    "obs": "self-observability of the pipeline: trace spans across the "
+           "wire, metrics registry, structured events (§6 analog)",
 }
 
 
@@ -112,6 +115,130 @@ def cmd_fig16(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_obs_scenario():
+    """Quickstart world + one diagnosis over real TCP + one crash arc.
+
+    Returns (report, quality) — run under an installed obs hub so the
+    whole pipeline records into it.  Prints nothing (``--json`` mode
+    must emit clean JSON).
+    """
+    from repro.cluster.chains import build_chain
+    from repro.core.controller import Controller
+    from repro.core.diagnosis import RootCauseLocator
+    from repro.core.net.client import RemoteAgentHandle, RetryPolicy
+    from repro.core.net.server import AgentServer
+    from repro.middleboxes.http import HttpClient, HttpServer
+    from repro.middleboxes.proxy import Proxy
+    from repro.scenarios.common import Harness
+    from repro.workloads.faults import inject_perf_bug
+
+    h = Harness(seed=1)
+    machine = h.add_machine("host-1")
+    tenant = h.add_tenant("acme")
+    client = HttpClient(h.sim, machine.add_vm("vm-client", vnic_bps=100e6), "client")
+    proxy = Proxy(h.sim, machine.add_vm("vm-proxy", vnic_bps=100e6), "proxy")
+    server = HttpServer(h.sim, machine.add_vm("vm-server", vnic_bps=100e6), "server")
+    build_chain([client, proxy, server], tenant.vnet)
+    for app in (client, proxy, server):
+        h.register_app(app)
+    h.advance(1.5)
+    inject_perf_bug(proxy, 50.0)
+    h.advance(1.0)
+
+    agent = h.agents["host-1"]
+    srv = AgentServer(agent).start()
+    host, port = srv.address
+    handle = RemoteAgentHandle(
+        host, port,
+        retry=RetryPolicy(
+            max_attempts=2, base_delay_s=0.001, max_delay_s=0.005, deadline_s=5.0
+        ),
+    )
+    remote = Controller("obs-demo-controller")
+    remote.register_agent("host-1", handle)
+    remote.register_tenant(tenant)
+    try:
+        report = RootCauseLocator(remote, h.advance, window_s=1.0).run("acme")
+        # Crash/restart arc: a dead agent degrades health (events +
+        # failed-sync metrics), a rebind on the same port recovers it.
+        srv.shutdown()
+        remote.refresh("host-1")
+        srv = AgentServer(agent, host=host, port=port).start()
+        remote.refresh("host-1")
+        quality = remote.data_quality("host-1", now=h.sim.now)
+    finally:
+        handle.close()
+        srv.shutdown()
+    return report, quality
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.core.channels import READ_LATENCY_METRIC
+
+    hub = obs.Observability()
+    with obs.installed(hub):
+        report, quality = _run_obs_scenario()
+
+    diag_spans = hub.spans.by_name("diagnosis.propagation")
+    trace_id = diag_spans[-1].trace_id if diag_spans else None
+
+    if args.json:
+        print(json.dumps(
+            {
+                "root_causes": report.root_causes,
+                "data_quality": quality.describe(),
+                "metrics": hub.metrics.snapshot(),
+                "prometheus": hub.metrics.render_prometheus(),
+                "spans": [s.to_dict() for s in hub.spans.finished()],
+                "trace_id": trace_id,
+                "events": [e.to_dict() for e in hub.events.events()],
+            },
+            indent=2, sort_keys=True, default=str,
+        ))
+        return 0
+
+    print("== diagnosis over TCP")
+    print(report.summary())
+    print(f"  data quality after crash/restart arc: {quality.describe()}")
+
+    if trace_id is not None:
+        print(f"\n== span tree of the diagnosis run (trace {trace_id[:8]}...)")
+        print(hub.spans.render_tree(trace_id))
+
+    print("\n== slowest spans")
+    for s in hub.spans.slowest(10):
+        print(
+            f"  {s.duration_s * 1e3:9.3f}ms {s.name:22s} "
+            f"trace={s.trace_id[:8]} span={s.span_id[:8]} "
+            f"parent={(s.parent_id or '-')[:8]}"
+        )
+
+    print("\n== channel read latency (software Figure 9, simulated seconds)")
+    print(f"  {'kind':12s} {'reads':>6s} {'p50':>10s} {'p99':>10s} {'max':>10s}")
+    for key, hist in sorted(hub.metrics.children(READ_LATENCY_METRIC).items()):
+        kind = dict(key).get("kind", "?")
+        print(
+            f"  {kind:12s} {hist.count:6d} {hist.quantile(0.5) * 1e3:8.3f}ms "
+            f"{hist.quantile(0.99) * 1e3:8.3f}ms {hist.max * 1e3:8.3f}ms"
+        )
+
+    print("\n== events")
+    for e in hub.events.events():
+        print(f"  {e.to_json()}")
+
+    print(
+        f"\n== metrics registry: {len(hub.metrics)} series across "
+        f"{len(hub.metrics.names())} families (full Prometheus text "
+        f"via --json)"
+    )
+    for name in hub.metrics.names():
+        print(f"  {name}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
@@ -141,6 +268,17 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig16", help="poll frequency vs agent CPU").set_defaults(
         fn=cmd_fig16
     )
+    p_obs = sub.add_parser(
+        "obs",
+        help="self-observability demo: spans across the wire, metrics, events",
+    )
+    p_obs.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON document (metrics snapshot, Prometheus text, "
+        "spans, events) instead of the human-readable report",
+    )
+    p_obs.set_defaults(fn=cmd_obs)
     return parser
 
 

@@ -21,8 +21,10 @@ usage as a function of poll frequency).
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from repro import obs
 from repro.core.channels import Channel, ChannelError, ChannelTimeout
 from repro.core.counters import CounterSnapshot
 from repro.core.records import StatRecord
@@ -33,6 +35,13 @@ from repro.simnet.engine import PeriodicHandle, Simulator
 #: Default sweep cadence when polling is enabled without a period.  10 Hz
 #: is the rate the diagnostics need (Figure 16 shows it costs < 0.5% CPU).
 DEFAULT_POLL_PERIOD_S = 0.1
+
+#: Self-observability names.  ``agent`` labels are fleet-bounded (one
+#: value per server), matching the cardinality rules in DESIGN.md.
+SWEEP_DURATION_METRIC = "perfsight_agent_sweep_duration_seconds"
+SWEEP_FAULTS_METRIC = "perfsight_agent_sweep_faults_total"
+STORE_SNAPSHOTS_METRIC = "perfsight_agent_store_snapshots"
+QUERIES_METRIC = "perfsight_agent_queries_total"
 
 
 class Agent:
@@ -153,6 +162,7 @@ class Agent:
             cpu += chan.spec.cpu_cost_s
         self.total_cpu_s += cpu
         self.total_queries += 1
+        obs.counter(QUERIES_METRIC, agent=self.name)
         return records, worst_latency
 
     # -- streaming collection (snapshot -> store -> delta batch) -----------------------
@@ -173,30 +183,41 @@ class Agent:
         contributes no fresh snapshot this sweep, which downstream
         consumers observe as staleness.
         """
+        wall0 = time.perf_counter()
         now = self.sim.now
         stored = 0
         worst_latency = 0.0
         cpu = 0.0
-        elements = self.elements()
-        for eid in sorted(elements):
-            chan = self._channel(elements[eid])
-            try:
-                snap, latency = chan.read_versioned(now)
-            except ChannelTimeout as exc:
-                self.total_poll_timeouts += 1
-                worst_latency = max(worst_latency, exc.latency_s)
+        with obs.span("agent.sweep", agent=self.name) as sp:
+            elements = self.elements()
+            for eid in sorted(elements):
+                chan = self._channel(elements[eid])
+                try:
+                    snap, latency = chan.read_versioned(now)
+                except ChannelTimeout as exc:
+                    self.total_poll_timeouts += 1
+                    worst_latency = max(worst_latency, exc.latency_s)
+                    cpu += chan.spec.cpu_cost_s
+                    obs.counter(SWEEP_FAULTS_METRIC, agent=self.name, fault="timeout")
+                    continue
+                except ChannelError:
+                    self.total_poll_errors += 1
+                    cpu += chan.spec.cpu_cost_s
+                    obs.counter(SWEEP_FAULTS_METRIC, agent=self.name, fault="error")
+                    continue
+                if self.store.append(snap):
+                    stored += 1
+                worst_latency = max(worst_latency, latency)
                 cpu += chan.spec.cpu_cost_s
-                continue
-            except ChannelError:
-                self.total_poll_errors += 1
-                cpu += chan.spec.cpu_cost_s
-                continue
-            if self.store.append(snap):
-                stored += 1
-            worst_latency = max(worst_latency, latency)
-            cpu += chan.spec.cpu_cost_s
-        self.total_cpu_s += cpu
-        self.total_polls += 1
+            self.total_cpu_s += cpu
+            self.total_polls += 1
+            sp.set("elements", len(elements))
+            sp.set("stored", stored)
+        if obs.enabled():
+            obs.observe(
+                SWEEP_DURATION_METRIC, time.perf_counter() - wall0, agent=self.name
+            )
+            obs.gauge(STORE_SNAPSHOTS_METRIC, len(self.store), agent=self.name)
         return stored, worst_latency
 
     def start_polling(self, period_s: float = DEFAULT_POLL_PERIOD_S) -> PeriodicHandle:

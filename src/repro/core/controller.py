@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Protocol, Tuple
 
+from repro import obs
 from repro.cluster.topology import Tenant, VirtualNetwork
 from repro.core.agent import Agent
 from repro.core.counters import CounterSnapshot, CounterWindow
@@ -42,6 +43,11 @@ from repro.core.store import StoreError, TimeSeriesStore
 #: tracking.  Anything else (an agent *refusing* an op, a programming
 #: error) still propagates.
 COLLECTION_ERRORS = (AgentUnreachable, ProtocolError, ConnectionError, OSError)
+
+#: Self-observability names (``machine`` labels are fleet-bounded).
+SYNC_TOTAL_METRIC = "perfsight_mirror_syncs_total"
+SYNC_SNAPSHOTS_METRIC = "perfsight_mirror_snapshots_total"
+STALENESS_METRIC = "perfsight_mirror_staleness_seconds"
 
 
 class AgentHandle(Protocol):
@@ -78,7 +84,7 @@ class AgentMirror:
         self.syncs = 0
         self.failed_syncs = 0
         self.snapshots_received = 0
-        self.health = AgentHealth(health_policy)
+        self.health = AgentHealth(health_policy, name=machine)
         self.last_error: Optional[BaseException] = None
 
     def sync(self) -> int:
@@ -91,19 +97,32 @@ class AgentMirror:
         store detects the regression and re-baselines, so no window
         ever spans the restart.
         """
-        try:
-            batch, cursor = self.handle.collect_delta(self.acked)
-        except COLLECTION_ERRORS as exc:
-            self.failed_syncs += 1
-            self.last_error = exc
-            self.health.record_failure(exc)
-            return 0
-        self.store.extend(batch)
-        self.acked = dict(cursor)
-        self.syncs += 1
-        self.snapshots_received += len(batch)
-        self.health.record_success()
-        return len(batch)
+        with obs.span("mirror.sync", machine=self.machine) as sp:
+            try:
+                batch, cursor = self.handle.collect_delta(self.acked)
+            except COLLECTION_ERRORS as exc:
+                self.failed_syncs += 1
+                self.last_error = exc
+                self.health.record_failure(exc)
+                obs.counter(SYNC_TOTAL_METRIC, machine=self.machine, ok="false")
+                obs.event(
+                    "mirror.sync_failed", obs.WARNING,
+                    machine=self.machine, error=repr(exc),
+                    consecutive_failures=self.health.consecutive_failures,
+                )
+                sp.set("ok", False)
+                return 0
+            self.store.extend(batch)
+            self.acked = dict(cursor)
+            self.syncs += 1
+            self.snapshots_received += len(batch)
+            self.health.record_success()
+            obs.counter(SYNC_TOTAL_METRIC, machine=self.machine, ok="true")
+            obs.counter(
+                SYNC_SNAPSHOTS_METRIC, float(len(batch)), machine=self.machine
+            )
+            sp.set("snapshots", len(batch))
+            return len(batch)
 
     def data_quality(self, now: Optional[float] = None) -> DataQuality:
         """The staleness annotation for answers served from this mirror."""
@@ -114,6 +133,7 @@ class AgentMirror:
         age = None
         if now is not None and last_ts is not None:
             age = max(0.0, now - last_ts)
+            obs.gauge(STALENESS_METRIC, age, machine=self.machine)
         return DataQuality(
             machine=self.machine,
             state=self.health.state,

@@ -17,14 +17,18 @@ Overloaded survivor of the propagation analysis.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.controller import Controller
 from repro.core.counters import CounterWindow
 from repro.core.diagnosis.report import (
     CONFIDENCE_DEGRADED,
     CONFIDENCE_FULL,
     CONFIDENCE_MISSING,
+    DIAGNOSIS_RUNS_METRIC,
+    DIAGNOSIS_RUNTIME_METRIC,
 )
 from repro.core.diagnosis.states import classify_window
 from repro.core.store import StoreError
@@ -62,6 +66,36 @@ class BottleneckDetector:
         entries are never confirmed as bottlenecks — absence of data is
         not absence of drops, so they stay unconfirmed but flagged).
         """
+        wall0 = time.perf_counter()
+        confidence = CONFIDENCE_FULL
+        with obs.span("diagnosis.bottleneck", tenant=tenant_id) as sp:
+            out = self._run(tenant_id, suspicious, window_s)
+            confirmed = sorted(
+                name for name, entry in out.items() if entry["is_bottleneck"]
+            )
+            confidences = {str(entry["confidence"]) for entry in out.values()}
+            if CONFIDENCE_MISSING in confidences:
+                confidence = CONFIDENCE_MISSING
+            elif CONFIDENCE_DEGRADED in confidences:
+                confidence = CONFIDENCE_DEGRADED
+            sp.set("bottlenecks", ",".join(confirmed))
+            sp.set("confidence", confidence)
+            sp.set("evaluated", len(out))
+        obs.observe(
+            DIAGNOSIS_RUNTIME_METRIC, time.perf_counter() - wall0,
+            algorithm="bottleneck",
+        )
+        obs.counter(
+            DIAGNOSIS_RUNS_METRIC, algorithm="bottleneck", confidence=confidence
+        )
+        return out
+
+    def _run(
+        self,
+        tenant_id: str,
+        suspicious: Optional[List[str]],
+        window_s: Optional[float],
+    ) -> Dict[str, Dict[str, object]]:
         window = window_s if window_s is not None else self.window_s
         vnet = self.controller.vnet(tenant_id)
         if suspicious is None:

@@ -15,13 +15,17 @@ Cost is linear in the number of elements, as the paper notes.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.core.controller import COLLECTION_ERRORS, Controller
 from repro.core.counters import CounterWindow
 from repro.core.diagnosis.report import (
     CONFIDENCE_DEGRADED,
     CONFIDENCE_FULL,
+    DIAGNOSIS_RUNS_METRIC,
+    DIAGNOSIS_RUNTIME_METRIC,
     ContentionReport,
     ElementLoss,
 )
@@ -76,6 +80,24 @@ class ContentionDetector:
         from an aging mirror — the whole report is marked degraded
         instead of presenting possibly stale verdicts as trusted.
         """
+        wall0 = time.perf_counter()
+        with obs.span("diagnosis.contention", machine=machine_name) as sp:
+            report = self._run(machine_name, window_s)
+            sp.set("confidence", report.confidence)
+            sp.set("verdicts", len(report.verdicts))
+            if report.worst is not None:
+                sp.set("worst", report.worst.element_id)
+        obs.observe(
+            DIAGNOSIS_RUNTIME_METRIC, time.perf_counter() - wall0,
+            algorithm="contention",
+        )
+        obs.counter(
+            DIAGNOSIS_RUNS_METRIC,
+            algorithm="contention", confidence=report.confidence,
+        )
+        return report
+
+    def _run(self, machine_name: str, window_s: Optional[float]) -> ContentionReport:
         window = window_s if window_s is not None else self.window_s
         ids = self._stack_element_ids(machine_name)
         self.controller.refresh(machine_name)

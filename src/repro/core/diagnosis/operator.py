@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro import obs
 from repro.cluster.placement import Placement
 from repro.core.controller import Controller
 from repro.core.diagnosis.contention import ContentionDetector
@@ -48,11 +49,19 @@ class OperatorConsole:
     def diagnose_machine(self, machine: str, window_s: Optional[float] = None) -> ContentionReport:
         report = self.contention.run(machine, window_s)
         self.actions_log.append(("diagnose_machine", machine))
+        obs.event(
+            "operator.action", action="diagnose_machine", machine=machine,
+            confidence=report.confidence,
+        )
         return report
 
     def diagnose_tenant(self, tenant_id: str, window_s: Optional[float] = None) -> RootCauseReport:
         report = self.propagation.run(tenant_id, window_s)
         self.actions_log.append(("diagnose_tenant", tenant_id))
+        obs.event(
+            "operator.action", action="diagnose_tenant", tenant=tenant_id,
+            root_causes=",".join(report.root_causes),
+        )
         return report
 
     # -- remediation -------------------------------------------------------------------
@@ -66,10 +75,17 @@ class OperatorConsole:
         """
         stopper()
         self.actions_log.append(("migrate_task", description))
+        obs.event(
+            "operator.action", action="migrate_task", description=description
+        )
 
     def migrate_vm(self, vm_id: str, new_machine: str) -> None:
         old = self.placement.migrate(vm_id, new_machine)
         self.actions_log.append(("migrate_vm", vm_id, old, new_machine))
+        obs.event(
+            "operator.action", action="migrate_vm", vm=vm_id,
+            source=old, destination=new_machine,
+        )
 
     def scale_out_vnic(self, vm, factor: float = 2.0) -> None:
         """Scale a bottleneck middlebox by adding capacity.
@@ -83,3 +99,4 @@ class OperatorConsole:
             vm.set_vnic_bps(vm.vnic_bps * factor)
         vm.set_vcpu_cores(vm.vcpu.capacity_per_s * factor)
         self.actions_log.append(("scale_out", vm.vm_id, factor))
+        obs.event("operator.action", action="scale_out", vm=vm.vm_id, factor=factor)

@@ -24,12 +24,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
+
 #: The three agent health states, in degradation order.
 HEALTHY = "healthy"
 DEGRADED = "degraded"
 DEAD = "dead"
 
 HEALTH_STATES = (HEALTHY, DEGRADED, DEAD)
+
+#: Self-observability: every state-machine edge is counted and emitted
+#: as a structured event (severity scales with how bad the new state is).
+TRANSITIONS_METRIC = "perfsight_health_transitions_total"
+
+_TRANSITION_SEVERITY = {HEALTHY: obs.INFO, DEGRADED: obs.WARNING, DEAD: obs.ERROR}
 
 
 @dataclass(frozen=True)
@@ -61,8 +69,12 @@ class HealthPolicy:
 class AgentHealth:
     """Tracks one agent's collection-path health at the controller."""
 
-    def __init__(self, policy: Optional[HealthPolicy] = None) -> None:
+    def __init__(
+        self, policy: Optional[HealthPolicy] = None, name: str = ""
+    ) -> None:
         self.policy = policy if policy is not None else HealthPolicy()
+        #: The tracked agent/machine, for events (optional but useful).
+        self.name = name
         self.state = HEALTHY
         self.consecutive_failures = 0
         self.consecutive_successes = 0
@@ -103,6 +115,15 @@ class AgentHealth:
 
     def _transition(self, new_state: str) -> None:
         self.transitions.append((self.state, new_state))
+        obs.counter(TRANSITIONS_METRIC, to=new_state)
+        obs.event(
+            "health.transition",
+            _TRANSITION_SEVERITY[new_state],
+            agent=self.name,
+            from_state=self.state,
+            to_state=new_state,
+            consecutive_failures=self.consecutive_failures,
+        )
         self.state = new_state
 
     # -- views -------------------------------------------------------------------

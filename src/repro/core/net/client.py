@@ -23,6 +23,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import socket
 
+from repro import obs
 from repro.core.counters import CounterSnapshot
 from repro.core.net.protocol import (
     IDEMPOTENT_OPS,
@@ -31,11 +32,18 @@ from repro.core.net.protocol import (
     OP_QUERY,
     OP_STACK_ELEMENTS,
     ProtocolError,
+    inject_trace,
     make_batch_delta_request,
     recv_message,
     send_message,
 )
 from repro.core.records import StatRecord
+
+#: Self-observability names; the ``op`` label is bounded by the
+#: protocol's op inventory.
+WIRE_OP_LATENCY_METRIC = "perfsight_wire_op_latency_seconds"
+WIRE_RETRIES_METRIC = "perfsight_wire_retries_total"
+WIRE_UNREACHABLE_METRIC = "perfsight_wire_unreachable_total"
 
 
 class AgentUnreachable(ConnectionError):
@@ -153,36 +161,52 @@ class RemoteAgentHandle:
         started = self._clock()
         deadline = started + self.retry.deadline_s
         attempts = 0
-        while True:
-            sent = False
-            try:
-                sock = self._connect()
-                send_message(sock, request)
-                sent = True
-                response = recv_message(sock)
-                break
-            except (ConnectionError, OSError) as exc:
-                self.close()
-                attempts += 1
-                # A non-idempotent request that may have reached the peer
-                # must not be replayed: the failure is terminal.
-                retryable = blind_retry or not sent
-                if not retryable or attempts >= self.retry.max_attempts:
-                    raise AgentUnreachable(
-                        self.name, op, attempts, self._clock() - started, exc
-                    ) from exc
-                delay = self.retry.backoff_s(attempts - 1, self._rng)
-                if self._clock() + delay > deadline:
-                    raise AgentUnreachable(
-                        self.name, op, attempts, self._clock() - started, exc
-                    ) from exc
-                self._sleep(delay)
+        with obs.span("wire.call", op=op, agent=self.name) as sp:
+            # The span just opened is the parent the agent-side handler
+            # span links to; a retried request keeps the same context,
+            # so both server attempts land in one trace.
+            inject_trace(request, obs.current_trace())
+            while True:
+                sent = False
+                try:
+                    sock = self._connect()
+                    send_message(sock, request)
+                    sent = True
+                    response = recv_message(sock)
+                    break
+                except (ConnectionError, OSError) as exc:
+                    self.close()
+                    attempts += 1
+                    # A non-idempotent request that may have reached the peer
+                    # must not be replayed: the failure is terminal.
+                    retryable = blind_retry or not sent
+                    if not retryable or attempts >= self.retry.max_attempts:
+                        self._give_up(op, attempts, started, exc)
+                    delay = self.retry.backoff_s(attempts - 1, self._rng)
+                    if self._clock() + delay > deadline:
+                        self._give_up(op, attempts, started, exc)
+                    obs.counter(WIRE_RETRIES_METRIC, op=op)
+                    self._sleep(delay)
+            sp.set("attempts", attempts + 1)
+            obs.observe(WIRE_OP_LATENCY_METRIC, self._clock() - started, op=op)
         if not response.get("ok"):
             raise RuntimeError(
                 f"agent {self.name} refused {request.get('op')!r}: "
                 f"{response.get('error', 'unknown error')}"
             )
         return response
+
+    def _give_up(
+        self, op: str, attempts: int, started: float, exc: BaseException
+    ) -> None:
+        """Exhausted retry budget: record it, raise AgentUnreachable."""
+        elapsed = self._clock() - started
+        obs.counter(WIRE_UNREACHABLE_METRIC, op=op)
+        obs.event(
+            "wire.unreachable", obs.ERROR,
+            agent=self.name, op=op, attempts=attempts, error=repr(exc),
+        )
+        raise AgentUnreachable(self.name, op, attempts, elapsed, exc) from exc
 
     # -- AgentHandle interface ---------------------------------------------------------
 

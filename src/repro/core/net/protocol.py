@@ -11,6 +11,13 @@ machine-batched frame holding only the counter snapshots that changed
 since — the streaming collection pipeline of the statistics plane.  The
 older per-query ``query`` op remains as the synchronous pull escape
 hatch.
+
+Every request frame may additionally carry a :data:`TRACE_FIELD`
+holding the caller's serialized trace context
+(:class:`~repro.obs.spans.TraceContext`), so a controller-side span and
+the agent-side handler span link into one trace across the wire.  The
+field is pure telemetry: absent, malformed or garbled contexts never
+affect request handling (:func:`extract_trace` degrades to None).
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ import json
 import socket
 import struct
 from typing import Any, Dict, Mapping, Optional
+
+from repro.obs.spans import TraceContext
 
 #: Refuse frames above 16 MiB — a full-machine stat sweep is ~100 KiB.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -40,7 +49,28 @@ IDEMPOTENT_OPS = frozenset(
     {OP_PING, OP_LIST_ELEMENTS, OP_STACK_ELEMENTS, OP_BATCH_DELTA}
 )
 
+#: Optional request field carrying the caller's trace context.
+TRACE_FIELD = "trace"
+
 _HEADER = struct.Struct(">I")
+
+
+def inject_trace(
+    request: Dict[str, Any], ctx: Optional[TraceContext]
+) -> Dict[str, Any]:
+    """Stamp the caller's trace context into a request frame (in place).
+
+    A None context leaves the frame untouched, so uninstrumented
+    callers produce byte-identical requests to pre-tracing builds.
+    """
+    if ctx is not None:
+        request[TRACE_FIELD] = ctx.to_wire()
+    return request
+
+
+def extract_trace(payload: Mapping[str, Any]) -> Optional[TraceContext]:
+    """The peer's trace context, or None when absent or malformed."""
+    return TraceContext.from_wire(payload.get(TRACE_FIELD))
 
 
 def make_batch_delta_request(acked: Optional[Mapping[str, int]]) -> Dict[str, Any]:

@@ -5,8 +5,10 @@ from __future__ import annotations
 import socket
 import socketserver
 import threading
+import time
 from typing import Optional, Tuple
 
+from repro import obs
 from repro.core.agent import Agent
 from repro.core.net.protocol import (
     OP_BATCH_DELTA,
@@ -15,10 +17,15 @@ from repro.core.net.protocol import (
     OP_QUERY,
     OP_STACK_ELEMENTS,
     ProtocolError,
+    TRACE_FIELD,
     parse_acked,
     recv_message,
     send_message,
 )
+
+#: Self-observability names (``op`` bounded by the protocol inventory).
+SERVER_REQUESTS_METRIC = "perfsight_server_requests_total"
+SERVER_LATENCY_METRIC = "perfsight_server_request_latency_seconds"
 
 
 class _AgentRequestHandler(socketserver.BaseRequestHandler):
@@ -35,10 +42,28 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
             except ProtocolError as exc:
                 self._respond({"ok": False, "error": str(exc)})
                 return
-            try:
-                response = self._dispatch(agent, lock, request)
-            except Exception as exc:  # surfaced to the client, not the server
-                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            op = str(request.get("op"))
+            # The handler span parents on the caller's wire trace
+            # context, so a controller-side query span and this span
+            # share a trace id across the process boundary.
+            wall0 = time.perf_counter()
+            with obs.span_from_wire(
+                "wire.serve", request.get(TRACE_FIELD), op=op, agent=agent.name
+            ) as sp:
+                try:
+                    response = self._dispatch(agent, lock, request)
+                except Exception as exc:  # surfaced to the client, not the server
+                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                    sp.set("error", f"{type(exc).__name__}: {exc}")
+                sp.set("ok", bool(response.get("ok")))
+            if obs.enabled():
+                obs.observe(
+                    SERVER_LATENCY_METRIC, time.perf_counter() - wall0, op=op
+                )
+                obs.counter(
+                    SERVER_REQUESTS_METRIC, op=op,
+                    ok="true" if response.get("ok") else "false",
+                )
             if not self._respond(response):
                 return
 

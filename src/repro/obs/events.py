@@ -1,0 +1,101 @@
+"""Structured event log for the PerfSight pipeline itself.
+
+Events are the discrete, low-rate side of self-observability: a health
+state transition, a sync that failed, an operator action.  Each event
+is a name plus structured fields (never a formatted string — consumers
+filter and aggregate, humans get rendering at the edge), a severity,
+and a wall-clock timestamp.  Retention is a bounded ring buffer, so an
+event storm degrades to losing *old* events instead of eating memory —
+the same posture as the span recorder.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+DEBUG = "debug"
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+#: Severities in increasing order of urgency.
+SEVERITIES = (DEBUG, INFO, WARNING, ERROR)
+
+_RANK = {s: i for i, s in enumerate(SEVERITIES)}
+
+#: Default ring-buffer retention for events.
+DEFAULT_MAX_EVENTS = 4096
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured log record."""
+
+    name: str
+    severity: str
+    ts: float
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "severity": self.severity,
+            "ts": self.ts,
+            **self.fields,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+class EventLog:
+    """Bounded, severity-levelled sink of structured events."""
+
+    def __init__(
+        self,
+        max_events: int = DEFAULT_MAX_EVENTS,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1: {max_events!r}")
+        self._events: deque = deque(maxlen=max_events)
+        self._clock = clock
+        self.emitted = 0
+        self.by_severity: Dict[str, int] = {s: 0 for s in SEVERITIES}
+
+    def emit(self, name: str, severity: str = INFO, **fields) -> Event:
+        if severity not in _RANK:
+            raise ValueError(
+                f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+            )
+        event = Event(name=name, severity=severity, ts=self._clock(), fields=fields)
+        self._events.append(event)
+        self.emitted += 1
+        self.by_severity[severity] += 1
+        return event
+
+    # -- access -------------------------------------------------------------------
+
+    def events(
+        self,
+        name: Optional[str] = None,
+        min_severity: str = DEBUG,
+    ) -> List[Event]:
+        """Retained events, oldest first, filtered by name/severity."""
+        threshold = _RANK[min_severity]
+        return [
+            e
+            for e in self._events
+            if _RANK[e.severity] >= threshold and (name is None or e.name == name)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def to_json_lines(self, min_severity: str = DEBUG) -> str:
+        """The retained events as newline-delimited JSON."""
+        return "\n".join(e.to_json() for e in self.events(min_severity=min_severity))

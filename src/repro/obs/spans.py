@@ -1,0 +1,256 @@
+"""Lightweight trace spans with cross-wire parent/child linking.
+
+A span measures one named stretch of real (wall-clock) work in the
+PerfSight pipeline itself — a diagnosis run, a wire call, an agent
+sweep.  Spans nest through a context variable (each new span adopts the
+innermost active one as its parent), and carry 64-bit hex trace/span
+ids Dapper-style: every span in one causal chain shares a ``trace_id``.
+
+The ids travel across the agent-controller wire: the client stamps its
+active span's :class:`TraceContext` into the request frame, and the
+server starts its handler span *from* that context — same trace id,
+``parent_id`` pointing at the client span — so a controller-side query
+span and the agent-side handler span form one tree even though they
+were recorded in different threads (or, in a real deployment, different
+processes).
+
+Finished spans land in the recorder's bounded ring buffer; nothing is
+kept per-span beyond the dataclass, and when no recorder is installed
+(see :mod:`repro.obs`) span creation is a shared no-op.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+#: Default ring-buffer retention for finished spans.
+DEFAULT_MAX_SPANS = 4096
+
+#: Wire field names of a serialized trace context (kept short: the
+#: context rides in every instrumented protocol frame).
+WIRE_TRACE_ID = "trace_id"
+WIRE_SPAN_ID = "span_id"
+
+_CURRENT: ContextVar[Optional["Span"]] = ContextVar("perfsight_span", default=None)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The (trace_id, span_id) pair that crosses process boundaries."""
+
+    trace_id: str
+    span_id: str
+
+    def to_wire(self) -> Dict[str, str]:
+        return {WIRE_TRACE_ID: self.trace_id, WIRE_SPAN_ID: self.span_id}
+
+    @classmethod
+    def from_wire(cls, raw: object) -> Optional["TraceContext"]:
+        """Parse a wire trace field; malformed input yields None.
+
+        Trace propagation is best-effort telemetry: a peer that sends a
+        garbled context must not break the request it is attached to.
+        """
+        if not isinstance(raw, Mapping):
+            return None
+        trace_id = raw.get(WIRE_TRACE_ID)
+        span_id = raw.get(WIRE_SPAN_ID)
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        if not trace_id or not span_id:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+class Span:
+    """One timed, attributed stretch of pipeline work.
+
+    Use as a context manager (via :meth:`SpanRecorder.span`); entering
+    makes it the innermost active span, exiting records the duration and
+    ships it to the recorder's ring buffer.  ``set`` attaches attributes
+    mid-flight (verdict provenance, batch sizes, retry counts).
+    """
+
+    __slots__ = (
+        "name", "trace_id", "span_id", "parent_id", "attrs", "status",
+        "remote_parent", "start_s", "end_s", "_recorder", "_token",
+    )
+
+    def __init__(
+        self,
+        recorder: "SpanRecorder",
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        attrs: Dict[str, object],
+        remote_parent: bool = False,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.status = "ok"
+        self.remote_parent = remote_parent
+        self.start_s = 0.0
+        self.end_s = 0.0
+        self._recorder = recorder
+        self._token = None
+
+    def set(self, key: str, value: object) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return max(0.0, self.end_s - self.start_s)
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self)
+        self.start_s = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end_s = time.perf_counter()
+        if exc_type is not None:
+            self.status = "error"
+            self.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        self._recorder._record(self)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "remote_parent": self.remote_parent,
+            "status": self.status,
+            "duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, trace={self.trace_id[:8]}, "
+            f"span={self.span_id[:8]}, parent={str(self.parent_id)[:8]}, "
+            f"{self.duration_s * 1e3:.3f}ms)"
+        )
+
+
+class SpanRecorder:
+    """Creates spans and retains the finished ones in a ring buffer."""
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1: {max_spans!r}")
+        self._finished: deque = deque(maxlen=max_spans)
+        self._rng = random.Random()
+        self._lock = threading.Lock()
+        self.started = 0
+
+    def _new_id(self) -> str:
+        with self._lock:
+            return f"{self._rng.getrandbits(64):016x}"
+
+    # -- span creation ------------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """A new span nested under the innermost active one (if any)."""
+        parent = _CURRENT.get()
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = self._new_id(), None
+        self.started += 1
+        return Span(self, name, trace_id, self._new_id(), parent_id, attrs)
+
+    def span_from_wire(
+        self, name: str, ctx: Optional[TraceContext], **attrs
+    ) -> Span:
+        """A handler-side span parented on a remote caller's context.
+
+        With ``ctx`` None (caller not tracing, or garbled field) this
+        degrades to :meth:`span` — the handler still gets timed, it just
+        roots a fresh trace.
+        """
+        if ctx is None:
+            return self.span(name, **attrs)
+        self.started += 1
+        return Span(
+            self, name, ctx.trace_id, self._new_id(), ctx.span_id, attrs,
+            remote_parent=True,
+        )
+
+    def current(self) -> Optional[Span]:
+        """The innermost active span in this thread/context, if any."""
+        return _CURRENT.get()
+
+    def current_context(self) -> Optional[TraceContext]:
+        span = _CURRENT.get()
+        return span.context if span is not None else None
+
+    def _record(self, span: Span) -> None:
+        self._finished.append(span)
+
+    # -- access to finished spans ---------------------------------------------------
+
+    def finished(self) -> List[Span]:
+        """Finished spans, oldest first (bounded by the ring)."""
+        return list(self._finished)
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def by_trace(self, trace_id: str) -> List[Span]:
+        return [s for s in self._finished if s.trace_id == trace_id]
+
+    def by_name(self, name: str) -> List[Span]:
+        return [s for s in self._finished if s.name == name]
+
+    def slowest(self, n: int = 10) -> List[Span]:
+        return sorted(self._finished, key=lambda s: -s.duration_s)[:n]
+
+    def render_tree(self, trace_id: str) -> str:
+        """One trace's spans as an indented tree (roots first).
+
+        Spans that crossed the wire are marked ``^wire``.  Spans whose
+        parent is not in the buffer (evicted, or recorded in another
+        process) render as roots.
+        """
+        spans = self.by_trace(trace_id)
+        by_parent: Dict[Optional[str], List[Span]] = {}
+        ids = {s.span_id for s in spans}
+        for s in spans:
+            key = s.parent_id if s.parent_id in ids else None
+            by_parent.setdefault(key, []).append(s)
+        lines: List[str] = []
+
+        def walk(parent_key: Optional[str], depth: int) -> None:
+            for s in sorted(by_parent.get(parent_key, []), key=lambda x: x.start_s):
+                marker = " ^wire" if s.remote_parent else ""
+                attrs = ", ".join(
+                    f"{k}={v}" for k, v in sorted(s.attrs.items())
+                )
+                attrs = f" [{attrs}]" if attrs else ""
+                lines.append(
+                    f"{'  ' * depth}{s.name} {s.duration_s * 1e3:.3f}ms"
+                    f"{marker}{attrs}"
+                )
+                walk(s.span_id, depth + 1)
+
+        walk(None, 0)
+        return "\n".join(lines)

@@ -30,14 +30,22 @@ class Series:
         self.values.append(v)
 
     def deltas(self) -> "Series":
-        """Per-interval differences (for cumulative counters)."""
+        """Per-interval differences (for cumulative counters).
+
+        An empty or single-sample series has no intervals to difference
+        and yields an empty series, never an error.
+        """
         out = Series()
         for i in range(1, len(self.values)):
             out.append(self.times[i], self.values[i] - self.values[i - 1])
         return out
 
     def rates(self) -> "Series":
-        """Per-interval rate of change, in units/second."""
+        """Per-interval rate of change, in units/second.
+
+        Like :meth:`deltas`, empty and single-sample series yield an
+        empty series (as do zero-duration intervals, which are skipped).
+        """
         out = Series()
         for i in range(1, len(self.values)):
             dt = self.times[i] - self.times[i - 1]
@@ -47,6 +55,9 @@ class Series:
         return out
 
     def window(self, t0: float, t1: float) -> "Series":
+        """Samples with ``t0 <= t <= t1``; an inverted window is an error."""
+        if t0 > t1:
+            raise ValueError(f"window bounds inverted: t0={t0!r} > t1={t1!r}")
         out = Series()
         for t, v in zip(self.times, self.values):
             if t0 <= t <= t1:
@@ -57,6 +68,27 @@ class Series:
         if not self.values:
             return 0.0
         return sum(self.values) / len(self.values)
+
+    def percentile(self, p: float) -> float:
+        """Exact p-quantile (``p`` in [0, 1]) with linear interpolation.
+
+        The reference the obs histograms' bucket-interpolated
+        :meth:`~repro.obs.metrics.Histogram.quantile` estimates are
+        tested against.  Raises on an empty series — there is no
+        meaningful quantile of nothing.
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"percentile must be within [0, 1]: {p!r}")
+        if not self.values:
+            raise ValueError("percentile of an empty series")
+        ordered = sorted(self.values)
+        if len(ordered) == 1:
+            return ordered[0]
+        idx = p * (len(ordered) - 1)
+        lo = int(idx)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = idx - lo
+        return ordered[lo] + (ordered[hi] - ordered[lo]) * frac
 
     def last(self) -> float:
         if not self.values:

@@ -23,6 +23,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig12", "--case", "nope"])
 
+    def test_obs_flags(self):
+        assert not build_parser().parse_args(["obs"]).json
+        assert build_parser().parse_args(["obs", "--json"]).json
+
+    def test_obs_in_inventory(self, capsys):
+        assert main(["list"]) == 0
+        assert "obs" in capsys.readouterr().out
+        assert "obs" in EXPERIMENTS
+
 
 @pytest.mark.slow
 class TestHeavyCommands:
@@ -36,3 +45,23 @@ class TestHeavyCommands:
         out = capsys.readouterr().out
         assert "incoming-bandwidth" in out
         assert "vm-bottleneck" in out
+
+    def test_obs_human_report(self, capsys):
+        assert main(["obs"]) == 0
+        out = capsys.readouterr().out
+        assert "ROOT CAUSE" in out and "proxy" in out
+        assert "^wire" in out  # the span tree shows the wire crossing
+        assert "health.transition" in out
+        assert "perfsight_channel_read_latency_seconds" in out
+
+    def test_obs_json_document(self, capsys):
+        import json
+
+        assert main(["obs", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["root_causes"] == ["proxy"]
+        assert doc["trace_id"]
+        span_names = {s["name"] for s in doc["spans"]}
+        assert {"diagnosis.propagation", "wire.call", "wire.serve"} <= span_names
+        assert "perfsight_channel_read_latency_seconds_bucket" in doc["prometheus"]
+        assert any(e["name"] == "health.transition" for e in doc["events"])

@@ -22,12 +22,59 @@ class TestSeries:
         r = s.rates()
         assert r.values == [5.0]
 
+    def test_deltas_and_rates_empty_or_single_sample(self):
+        assert len(Series().deltas()) == 0
+        assert len(Series().rates()) == 0
+        s = Series()
+        s.append(1.0, 10.0)
+        assert len(s.deltas()) == 0
+        assert len(s.rates()) == 0
+
+    def test_rates_skips_zero_duration_intervals(self):
+        s = Series()
+        s.append(0.0, 0.0)
+        s.append(0.0, 5.0)  # same timestamp: no defined rate
+        s.append(1.0, 10.0)
+        assert s.rates().values == [5.0]
+
     def test_window(self):
         s = Series()
         for t in range(10):
             s.append(float(t), float(t))
         w = s.window(3, 6)
         assert w.times == [3, 4, 5, 6]
+
+    def test_window_inverted_bounds_raise(self):
+        s = Series()
+        s.append(0.0, 1.0)
+        with pytest.raises(ValueError, match="inverted"):
+            s.window(2.0, 1.0)
+        assert s.window(1.0, 1.0).values == []  # equal bounds are fine
+
+    def test_percentile_exact(self):
+        s = Series()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.append(0.0, v)
+        assert s.percentile(0.0) == 1.0
+        assert s.percentile(1.0) == 4.0
+        assert s.percentile(0.5) == 2.5  # linear interpolation
+        single = Series()
+        single.append(0.0, 7.0)
+        assert single.percentile(0.9) == 7.0
+
+    def test_percentile_order_independent(self):
+        s = Series()
+        for v in (9.0, 1.0, 5.0):
+            s.append(0.0, v)
+        assert s.percentile(0.5) == 5.0
+
+    def test_percentile_errors(self):
+        with pytest.raises(ValueError):
+            Series().percentile(0.5)
+        s = Series()
+        s.append(0.0, 1.0)
+        with pytest.raises(ValueError):
+            s.percentile(1.5)
 
     def test_mean_and_last(self):
         s = Series()
