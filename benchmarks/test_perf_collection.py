@@ -15,6 +15,11 @@ from repro.middleboxes.proxy import Proxy
 from repro.scenarios.common import Harness
 
 QUERIES = 1000
+#: Timing passes per path; the minimum is reported.  The lookup loop is
+#: only a few ms long, so when the whole benchmark dir runs in one
+#: process a single GC pause inherited from the heavyweight figure
+#: benchmarks can double one sample.
+PASSES = 3
 
 
 def build_world():
@@ -41,21 +46,23 @@ def test_mirror_lookup_vs_per_query_pull(paper_report):
     h.advance(1.0)
     controller.refresh("m1")
 
-    # Legacy path: every query is a fresh agent pull of its element.
-    t0 = time.perf_counter()
-    for q in range(QUERIES):
-        eid = element_ids[q % len(element_ids)]
-        record = controller.query_machine("m1", [eid])[0]
-        record.get("rx_bytes")
-    pull_s = time.perf_counter() - t0
-
-    # Refactored path: the same sweep as trailing-window mirror lookups.
     mirror_store = controller.mirror_for("m1").store
-    t1 = time.perf_counter()
-    for q in range(QUERIES):
-        eid = element_ids[q % len(element_ids)]
-        mirror_store.window_ending_now(eid, 0.5).rate("rx_bytes")
-    lookup_s = time.perf_counter() - t1
+    pull_s = lookup_s = float("inf")
+    for _ in range(PASSES):
+        # Legacy path: every query is a fresh agent pull of its element.
+        t0 = time.perf_counter()
+        for q in range(QUERIES):
+            eid = element_ids[q % len(element_ids)]
+            record = controller.query_machine("m1", [eid])[0]
+            record.get("rx_bytes")
+        pull_s = min(pull_s, time.perf_counter() - t0)
+
+        # Refactored path: the same sweep as trailing-window lookups.
+        t1 = time.perf_counter()
+        for q in range(QUERIES):
+            eid = element_ids[q % len(element_ids)]
+            mirror_store.window_ending_now(eid, 0.5).rate("rx_bytes")
+        lookup_s = min(lookup_s, time.perf_counter() - t1)
 
     speedup = pull_s / lookup_s
     paper_report(
@@ -70,5 +77,13 @@ def test_mirror_lookup_vs_per_query_pull(paper_report):
                 f"speedup: {speedup:.1f}x",
             ]
         ),
+        data={
+            "config": {"vms": 8, "elements": len(element_ids), "queries": QUERIES},
+            "pull_wall_s": pull_s,
+            "lookup_wall_s": lookup_s,
+            "pull_ops_per_s": QUERIES / pull_s,
+            "lookup_ops_per_s": QUERIES / lookup_s,
+            "speedup": speedup,
+        },
     )
     assert speedup >= 5.0, f"mirror lookup only {speedup:.1f}x faster than pull"

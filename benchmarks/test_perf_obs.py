@@ -106,6 +106,14 @@ def test_disabled_mode_overhead_under_budget(paper_report):
                 f"(budget {BUDGET * 100:.0f} %)",
             ]
         ),
+        data={
+            "config": {"elements": len(agent.elements()), "sweeps": SWEEPS},
+            "facade_calls_per_sweep": n_calls,
+            "per_call_s": per_call_s,
+            "sweep_wall_s": sweep_s,
+            "telemetry_fraction": fraction,
+            "budget": BUDGET,
+        },
     )
     assert fraction < BUDGET, (
         f"disabled-mode instrumentation costs {fraction * 100:.2f}% of a "

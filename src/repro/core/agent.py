@@ -21,6 +21,7 @@ usage as a function of poll frequency).
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -53,6 +54,14 @@ class Agent:
         self.name = name if name is not None else f"agent@{machine.name}"
         self._extra: Dict[str, Element] = {}
         self._channels: Dict[str, Channel] = {}
+        # Sweeps serialize against each other (two interleaved sweeps
+        # would double-charge CPU and race the per-poll accounting), but
+        # NOT against queries or store readers — the store has its own
+        # lock, so read-only ops run beside an in-flight sweep.
+        self._sweep_lock = threading.Lock()
+        # Channel creation is the one structural mutation shared by the
+        # read paths; double-checked so the hot path stays lock-free.
+        self._channels_lock = threading.Lock()
         self.store = TimeSeriesStore()
         self.total_cpu_s = 0.0
         self.total_queries = 0
@@ -100,7 +109,12 @@ class Agent:
     def _channel(self, element: Element) -> Channel:
         chan = self._channels.get(element.name)
         if chan is None:
-            chan = self._channels[element.name] = Channel(element, self.sim.rng)
+            with self._channels_lock:
+                chan = self._channels.get(element.name)
+                if chan is None:
+                    chan = self._channels[element.name] = Channel(
+                        element, self.sim.rng
+                    )
         return chan
 
     def channel(self, element_id: str) -> Channel:
@@ -188,7 +202,7 @@ class Agent:
         stored = 0
         worst_latency = 0.0
         cpu = 0.0
-        with obs.span("agent.sweep", agent=self.name) as sp:
+        with self._sweep_lock, obs.span("agent.sweep", agent=self.name) as sp:
             elements = self.elements()
             for eid in sorted(elements):
                 chan = self._channel(elements[eid])
@@ -255,11 +269,15 @@ class Agent:
         an active cadence poller the agent pulls through (one sweep) so
         on-demand collectors still observe current state; with a poller
         running the call only drains the store.
+
+        The drain — changed snapshots plus cursor — is one atomic store
+        operation (:meth:`TimeSeriesStore.drain`), so a cadence sweep
+        appending concurrently can never produce a cursor that
+        acknowledges snapshots the batch does not carry.
         """
         if not self.polling:
             self.poll_once()
-        batch = self.store.changed_since(acked if acked is not None else {})
-        return batch, self.store.cursor()
+        return self.store.drain(acked if acked is not None else {})
 
     # -- overhead introspection (Figures 9 and 16) -------------------------------------
 

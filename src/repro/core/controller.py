@@ -23,11 +23,38 @@ from the (now aging) mirror.  Callers that care can ask for the
 machine's :class:`~repro.core.health.DataQuality` annotation — or use
 the ``*_with_quality`` variants — to learn how trustworthy an answer
 is.
+
+The collection plane is also *concurrent*: against a fleet, one slow or
+dead agent must not stretch a refresh from max(RTT) to sum(RTT), so
+:meth:`Controller.refresh_concurrent` (and
+:meth:`Controller.refresh` with ``concurrent=True``) fans the
+per-machine syncs out over a bounded worker pool.  Each mirror carries
+its own lock, so a fan-out worker and a lazy ``mirror_latest`` refresh
+never interleave inside one mirror's sync; cross-mirror state
+(``store``, ``health``) is independently thread-safe.
+:meth:`Controller.refresh_report` exposes the per-machine breakdown,
+and :meth:`Controller.diagnose_fleet` runs Algorithm 1 across the whole
+fleet with the per-machine scans fanned out around a single shared
+window advance.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Protocol, Tuple
+import contextvars
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    TypeVar,
+)
 
 from repro import obs
 from repro.cluster.topology import Tenant, VirtualNetwork
@@ -48,6 +75,12 @@ COLLECTION_ERRORS = (AgentUnreachable, ProtocolError, ConnectionError, OSError)
 SYNC_TOTAL_METRIC = "perfsight_mirror_syncs_total"
 SYNC_SNAPSHOTS_METRIC = "perfsight_mirror_snapshots_total"
 STALENESS_METRIC = "perfsight_mirror_staleness_seconds"
+REFRESH_WORKERS_METRIC = "perfsight_controller_refresh_workers"
+
+T = TypeVar("T")
+
+#: Default fan-out width for concurrent refresh / fleet diagnosis.
+DEFAULT_MAX_WORKERS = 8
 
 
 class AgentHandle(Protocol):
@@ -86,6 +119,10 @@ class AgentMirror:
         self.snapshots_received = 0
         self.health = AgentHealth(health_policy, name=machine)
         self.last_error: Optional[BaseException] = None
+        # Serializes syncs of THIS mirror only: a fan-out worker and a
+        # lazy mirror_latest refresh must not interleave their
+        # batch/ack-cursor updates.  Different mirrors sync in parallel.
+        self._sync_lock = threading.Lock()
 
     def sync(self) -> int:
         """One BATCH_DELTA exchange; returns snapshots received.
@@ -96,8 +133,11 @@ class AgentMirror:
         An agent that restarted re-numbers its sequences; the mirror
         store detects the regression and re-baselines, so no window
         ever spans the restart.
+
+        Safe to call from concurrent refresh workers: the per-mirror
+        lock keeps the exchange + cursor update atomic per mirror.
         """
-        with obs.span("mirror.sync", machine=self.machine) as sp:
+        with self._sync_lock, obs.span("mirror.sync", machine=self.machine) as sp:
             try:
                 batch, cursor = self.handle.collect_delta(self.acked)
             except COLLECTION_ERRORS as exc:
@@ -145,14 +185,91 @@ class AgentMirror:
         )
 
 
+@dataclass(frozen=True)
+class MachineRefresh:
+    """One machine's slice of a refresh: what it contributed and how."""
+
+    machine: str
+    snapshots: int
+    ok: bool
+    wall_s: float
+    health_state: str
+    consecutive_failures: int = 0
+    error: Optional[str] = None
+
+
+@dataclass
+class RefreshReport:
+    """Per-machine breakdown of one fleet refresh.
+
+    :meth:`Controller.refresh` returns only the total snapshot count;
+    this is the operator-facing view behind it — which machines
+    contributed, which failed, and how wide the fan-out actually ran.
+    """
+
+    machines: Dict[str, MachineRefresh]
+    wall_s: float
+    concurrent: bool
+    #: Peak simultaneously-active sync workers observed (1 for serial).
+    peak_workers: int = 1
+
+    @property
+    def total_snapshots(self) -> int:
+        return sum(m.snapshots for m in self.machines.values())
+
+    @property
+    def failed(self) -> List[str]:
+        """Machines whose sync could not reach the agent this round."""
+        return sorted(m for m, r in self.machines.items() if not r.ok)
+
+    @property
+    def unhealthy(self) -> List[str]:
+        """Machines whose agent health is not HEALTHY after the round."""
+        return sorted(
+            m for m, r in self.machines.items() if r.health_state != "healthy"
+        )
+
+    def for_machine(self, machine: str) -> MachineRefresh:
+        try:
+            return self.machines[machine]
+        except KeyError:
+            raise KeyError(f"machine {machine!r} was not in this refresh") from None
+
+    def describe(self) -> str:
+        mode = "concurrent" if self.concurrent else "serial"
+        lines = [
+            f"refresh ({mode}, {len(self.machines)} machine(s), "
+            f"peak {self.peak_workers} worker(s), {self.wall_s:.3f}s): "
+            f"{self.total_snapshots} snapshot(s)"
+        ]
+        for name in sorted(self.machines):
+            r = self.machines[name]
+            status = "ok" if r.ok else f"FAILED ({r.error})"
+            lines.append(
+                f"  {name}: {r.snapshots} snap(s) in {r.wall_s:.3f}s, "
+                f"{status}, health={r.health_state}"
+            )
+        return "\n".join(lines)
+
+
 class Controller:
     """Routes statistics requests between operators and agents."""
 
-    def __init__(self, name: str = "perfsight-controller") -> None:
+    def __init__(
+        self,
+        name: str = "perfsight-controller",
+        max_workers: int = DEFAULT_MAX_WORKERS,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1: {max_workers!r}")
         self.name = name
+        self.max_workers = max_workers
         self._agents: Dict[str, AgentHandle] = {}
         self._mirrors: Dict[str, AgentMirror] = {}
         self._tenants: Dict[str, Tenant] = {}
+        # Guards the registries against registration racing a fan-out's
+        # machine enumeration; per-mirror state has its own locks.
+        self._registry_lock = threading.Lock()
 
     # -- registration -----------------------------------------------------------------
 
@@ -162,10 +279,13 @@ class Controller:
         agent: AgentHandle,
         health_policy: Optional[HealthPolicy] = None,
     ) -> None:
-        if machine_name in self._agents:
-            raise ValueError(f"machine {machine_name!r} already has an agent")
-        self._agents[machine_name] = agent
-        self._mirrors[machine_name] = AgentMirror(machine_name, agent, health_policy)
+        with self._registry_lock:
+            if machine_name in self._agents:
+                raise ValueError(f"machine {machine_name!r} already has an agent")
+            self._agents[machine_name] = agent
+            self._mirrors[machine_name] = AgentMirror(
+                machine_name, agent, health_policy
+            )
 
     def register_local_agent(self, agent: Agent) -> None:
         """Convenience for in-process agents."""
@@ -200,11 +320,17 @@ class Controller:
             raise KeyError(f"no agent registered for machine {machine_name!r}") from None
 
     def machines(self) -> List[str]:
-        return sorted(self._agents)
+        with self._registry_lock:
+            return sorted(self._agents)
 
     # -- collection (the BATCH_DELTA plane) ------------------------------------------------
 
-    def refresh(self, machine_name: Optional[str] = None) -> int:
+    def refresh(
+        self,
+        machine_name: Optional[str] = None,
+        concurrent: bool = False,
+        max_workers: Optional[int] = None,
+    ) -> int:
         """Pull deltas into the mirror(s); returns snapshots received.
 
         This is the explicit collection step — and the pull-semantics
@@ -212,12 +338,197 @@ class Controller:
         agent state as of now.  One batched exchange per machine,
         regardless of how many elements changed.
 
+        ``concurrent=True`` fans the per-machine syncs out over the
+        worker pool (see :meth:`refresh_concurrent`); the default stays
+        serial so single-machine tests and simulations remain strictly
+        deterministic.
+
         An unreachable agent does not raise: the failure feeds its
         health state machine and the machine contributes 0 snapshots.
         Check :meth:`health_for` / :meth:`data_quality` to observe it.
         """
-        machines = [machine_name] if machine_name is not None else self.machines()
-        return sum(self.mirror_for(m).sync() for m in machines)
+        if machine_name is not None:
+            return self.mirror_for(machine_name).sync()
+        if concurrent:
+            return self.refresh_concurrent(max_workers=max_workers)
+        return sum(self.mirror_for(m).sync() for m in self.machines())
+
+    def refresh_concurrent(
+        self,
+        machine_names: Optional[Iterable[str]] = None,
+        max_workers: Optional[int] = None,
+    ) -> int:
+        """Fan the per-machine syncs out over a bounded worker pool.
+
+        Wall-clock cost approaches max(per-agent RTT) instead of the
+        serial sum — the difference between a refresh cadence that
+        scales with fleet size and one that does not.  Equivalent to
+        :meth:`refresh` in every observable mirror state; only the
+        schedule differs.
+        """
+        return self.refresh_report(
+            machine_names, concurrent=True, max_workers=max_workers
+        ).total_snapshots
+
+    def refresh_report(
+        self,
+        machine_names: Optional[Iterable[str]] = None,
+        concurrent: bool = True,
+        max_workers: Optional[int] = None,
+    ) -> RefreshReport:
+        """One refresh round with its per-machine breakdown.
+
+        The parent ``controller.refresh`` span brackets the fan-out;
+        each machine's ``mirror.sync`` span lands beneath it (trace
+        context is propagated into the pool workers), so a slow agent is
+        visible as the long child bar in the span tree.
+        """
+        machines = (
+            list(machine_names) if machine_names is not None else self.machines()
+        )
+        wall0 = time.perf_counter()
+        parallel = concurrent and len(machines) > 1
+        with obs.span(
+            "controller.refresh",
+            machines=len(machines),
+            mode="concurrent" if parallel else "serial",
+        ) as sp:
+            if parallel:
+                results, peak = self._fan_out(
+                    [(m, self._sync_one) for m in machines], max_workers
+                )
+            else:
+                results = {m: self._sync_one(m) for m in machines}
+                peak = 1 if machines else 0
+            report = RefreshReport(
+                machines=results,
+                wall_s=time.perf_counter() - wall0,
+                concurrent=parallel,
+                peak_workers=max(peak, 1),
+            )
+            sp.set("snapshots", report.total_snapshots)
+            if report.failed:
+                sp.set("failed", ",".join(report.failed))
+        return report
+
+    def _sync_one(self, machine: str) -> MachineRefresh:
+        """One machine's sync, measured — the fan-out work unit."""
+        mirror = self.mirror_for(machine)
+        failed_before = mirror.failed_syncs
+        wall0 = time.perf_counter()
+        snapshots = mirror.sync()
+        ok = mirror.failed_syncs == failed_before
+        return MachineRefresh(
+            machine=machine,
+            snapshots=snapshots,
+            ok=ok,
+            wall_s=time.perf_counter() - wall0,
+            health_state=mirror.health.state,
+            consecutive_failures=mirror.health.consecutive_failures,
+            error=None if ok else repr(mirror.last_error),
+        )
+
+    def _fan_out(
+        self,
+        tasks: List[Tuple[str, Callable[[str], "T"]]],
+        max_workers: Optional[int] = None,
+    ) -> Tuple[Dict[str, "T"], int]:
+        """Run ``fn(label)`` for every (label, fn) over the worker pool.
+
+        Returns results keyed by label plus the peak number of
+        simultaneously-active workers (the saturation figure exported on
+        :data:`REFRESH_WORKERS_METRIC`).  The submitting thread's trace
+        context is copied into each worker, so spans opened inside the
+        work parent on the caller's span — one fresh context copy per
+        task, since a single Context cannot be entered concurrently.
+
+        Worker exceptions propagate to the caller: the fan-out units
+        (sync, diagnosis scans) already convert expected collection
+        failures into health state, so anything escaping is a bug.
+        """
+        width = max_workers if max_workers is not None else self.max_workers
+        if width < 1:
+            raise ValueError(f"max_workers must be >= 1: {width!r}")
+        width = min(width, max(len(tasks), 1))
+        gauge_state = {"active": 0, "peak": 0}
+        gauge_lock = threading.Lock()
+
+        def tracked(fn: Callable[[str], "T"], label: str) -> "T":
+            with gauge_lock:
+                gauge_state["active"] += 1
+                gauge_state["peak"] = max(gauge_state["peak"], gauge_state["active"])
+                active = gauge_state["active"]
+            obs.gauge(REFRESH_WORKERS_METRIC, float(active))
+            try:
+                return fn(label)
+            finally:
+                with gauge_lock:
+                    gauge_state["active"] -= 1
+                    active = gauge_state["active"]
+                obs.gauge(REFRESH_WORKERS_METRIC, float(active))
+
+        with ThreadPoolExecutor(
+            max_workers=width, thread_name_prefix=f"{self.name}-worker"
+        ) as pool:
+            futures = [
+                (
+                    label,
+                    pool.submit(
+                        contextvars.copy_context().run, tracked, fn, label
+                    ),
+                )
+                for label, fn in tasks
+            ]
+            results = {label: future.result() for label, future in futures}
+        return results, gauge_state["peak"]
+
+    # -- fleet diagnosis -------------------------------------------------------------
+
+    def diagnose_fleet(
+        self,
+        advance: Callable[[float], None],
+        window_s: float = 1.0,
+        machines: Optional[Iterable[str]] = None,
+        rulebook: Optional["object"] = None,
+        max_workers: Optional[int] = None,
+    ):
+        """Algorithm 1 across the fleet, scans fanned out concurrently.
+
+        Every machine's window-opening ``begin`` runs (in parallel)
+        before ``advance`` moves time ONCE, then every window-closing
+        ``finish`` runs — so all per-machine reports measure the same
+        interval, which is what makes their verdicts comparable.  The
+        merged :class:`~repro.core.diagnosis.report.FleetDiagnosis`
+        flags machines whose verdicts rest on degraded data.
+        """
+        # Imported lazily: the diagnosis package imports Controller.
+        from repro.core.diagnosis.contention import ContentionDetector
+        from repro.core.diagnosis.report import FleetDiagnosis
+
+        names = list(machines) if machines is not None else self.machines()
+        detector = ContentionDetector(
+            self, advance, rulebook=rulebook, window_s=window_s
+        )
+        wall0 = time.perf_counter()
+        with obs.span("controller.diagnose_fleet", machines=len(names)) as sp:
+            scans, peak_begin = self._fan_out(
+                [(m, detector.begin) for m in names], max_workers
+            )
+            advance(window_s)
+            reports, peak_finish = self._fan_out(
+                [(m, lambda m_: detector.finish_observed(scans[m_])) for m in names],
+                max_workers,
+            )
+            diagnosis = FleetDiagnosis(
+                window_s=window_s,
+                reports=reports,
+                wall_s=time.perf_counter() - wall0,
+                peak_workers=max(peak_begin, peak_finish, 1),
+            )
+            sp.set("degraded", len(diagnosis.degraded_machines))
+            if diagnosis.worst_machine is not None:
+                sp.set("worst", diagnosis.worst_machine)
+        return diagnosis
 
     # -- health and data quality ---------------------------------------------------------
 

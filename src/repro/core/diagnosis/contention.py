@@ -16,11 +16,12 @@ Cost is linear in the number of elements, as the paper notes.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro import obs
 from repro.core.controller import COLLECTION_ERRORS, Controller
-from repro.core.counters import CounterWindow
+from repro.core.counters import CounterSnapshot, CounterWindow
 from repro.core.diagnosis.report import (
     CONFIDENCE_DEGRADED,
     CONFIDENCE_FULL,
@@ -31,6 +32,27 @@ from repro.core.diagnosis.report import (
 )
 from repro.core.rulebook import RuleBook
 from repro.core.store import StoreError
+
+
+@dataclass
+class ContentionScan:
+    """The window-start half of one machine's Algorithm-1 scan.
+
+    Produced by :meth:`ContentionDetector.begin`, consumed by
+    :meth:`ContentionDetector.finish`.  Splitting the scan at the window
+    boundary is what lets a fleet diagnosis share ONE ``advance`` across
+    machines: every machine's begin runs (concurrently) before time
+    moves, then time moves once, then every finish runs — so all the
+    per-machine windows measure the same interval.
+    """
+
+    machine: str
+    window_s: float
+    ids: List[str]
+    starts: Dict[str, CounterSnapshot] = field(default_factory=dict)
+    missing: List[str] = field(default_factory=list)
+    #: ``time.perf_counter()`` at begin, for the runtime histogram.
+    started_at: float = 0.0
 
 
 class ContentionDetector:
@@ -80,39 +102,47 @@ class ContentionDetector:
         from an aging mirror — the whole report is marked degraded
         instead of presenting possibly stale verdicts as trusted.
         """
-        wall0 = time.perf_counter()
         with obs.span("diagnosis.contention", machine=machine_name) as sp:
-            report = self._run(machine_name, window_s)
-            sp.set("confidence", report.confidence)
-            sp.set("verdicts", len(report.verdicts))
-            if report.worst is not None:
-                sp.set("worst", report.worst.element_id)
-        obs.observe(
-            DIAGNOSIS_RUNTIME_METRIC, time.perf_counter() - wall0,
-            algorithm="contention",
-        )
-        obs.counter(
-            DIAGNOSIS_RUNS_METRIC,
-            algorithm="contention", confidence=report.confidence,
-        )
+            scan = self.begin(machine_name, window_s)
+            self.advance(scan.window_s)
+            report = self.finish(scan)
+            self._annotate(sp, report)
+        self._record_run(scan.started_at, report)
         return report
 
-    def _run(self, machine_name: str, window_s: Optional[float]) -> ContentionReport:
+    # -- split-phase scan (fleet mode) -------------------------------------------
+
+    def begin(
+        self, machine_name: str, window_s: Optional[float] = None
+    ) -> ContentionScan:
+        """Open the diagnosis window: refresh and capture element starts.
+
+        Thread-safe against other machines' begins — a fleet diagnosis
+        fans begins out over a worker pool before advancing time once.
+        """
         window = window_s if window_s is not None else self.window_s
-        ids = self._stack_element_ids(machine_name)
+        scan = ContentionScan(
+            machine=machine_name,
+            window_s=window,
+            ids=self._stack_element_ids(machine_name),
+            started_at=time.perf_counter(),
+        )
         self.controller.refresh(machine_name)
-        starts = {}
-        missing: List[str] = []
-        for eid in ids:
+        for eid in scan.ids:
             try:
-                starts[eid] = self.controller.mirror_latest(machine_name, eid)
+                scan.starts[eid] = self.controller.mirror_latest(machine_name, eid)
             except (KeyError, StoreError):
-                missing.append(eid)
-        self.advance(window)
+                scan.missing.append(eid)
+        return scan
+
+    def finish(self, scan: ContentionScan) -> ContentionReport:
+        """Close the window: refresh again, diff, rank, apply Table 1."""
+        machine_name = scan.machine
+        missing = list(scan.missing)
         self.controller.refresh(machine_name)
 
         ranked: List[ElementLoss] = []
-        for eid in ids:
+        for eid in scan.ids:
             if eid in missing:
                 continue
             try:
@@ -120,7 +150,7 @@ class ContentionDetector:
             except (KeyError, StoreError):
                 missing.append(eid)
                 continue
-            ranked.append(self._element_loss(CounterWindow(starts[eid], end)))
+            ranked.append(self._element_loss(CounterWindow(scan.starts[eid], end)))
         ranked.sort(key=lambda el: -el.loss_pkts)
 
         drops_all: Dict[str, float] = {}
@@ -132,7 +162,7 @@ class ContentionDetector:
         degraded = quality.stale or bool(missing)
         report = ContentionReport(
             machine=machine_name,
-            window_s=window,
+            window_s=scan.window_s,
             ranked=ranked,
             verdicts=verdicts,
             data_quality=quality,
@@ -141,6 +171,38 @@ class ContentionDetector:
         )
         report.disambiguated = self._disambiguate(machine_name, verdicts)
         return report
+
+    def finish_observed(self, scan: ContentionScan) -> ContentionReport:
+        """:meth:`finish` wrapped in the per-machine span and metrics.
+
+        Used by fleet mode, where begin and finish run in different
+        worker threads so one span cannot bracket the whole scan; the
+        runtime histogram still measures begin-to-finish via
+        ``scan.started_at``.
+        """
+        with obs.span("diagnosis.contention", machine=scan.machine) as sp:
+            report = self.finish(scan)
+            self._annotate(sp, report)
+        self._record_run(scan.started_at, report)
+        return report
+
+    @staticmethod
+    def _annotate(sp, report: ContentionReport) -> None:
+        sp.set("confidence", report.confidence)
+        sp.set("verdicts", len(report.verdicts))
+        if report.worst is not None:
+            sp.set("worst", report.worst.element_id)
+
+    @staticmethod
+    def _record_run(started_at: float, report: ContentionReport) -> None:
+        obs.observe(
+            DIAGNOSIS_RUNTIME_METRIC, time.perf_counter() - started_at,
+            algorithm="contention",
+        )
+        obs.counter(
+            DIAGNOSIS_RUNS_METRIC,
+            algorithm="contention", confidence=report.confidence,
+        )
 
     def _disambiguate(self, machine_name: str, verdicts) -> Optional[str]:
         """Resolve a CPU-vs-memory-bandwidth verdict with host gauges.

@@ -11,7 +11,7 @@ say so.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.diagnosis.states import MiddleboxState
 from repro.core.health import DataQuality
@@ -95,6 +95,83 @@ class ContentionReport:
             lines.append(f"  -> {verdict.describe()}")
         if self.disambiguated:
             lines.append(f"  -> host gauges implicate: {self.disambiguated}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FleetDiagnosis:
+    """Merged Algorithm-1 output across a fleet of machines.
+
+    Produced by ``Controller.diagnose_fleet``: one
+    :class:`ContentionReport` per machine, all measuring the *same*
+    interval (the scans share a single time advance), plus the merged
+    views a cluster operator asks first — which machine is losing the
+    most, and which verdicts rest on degraded data.
+    """
+
+    window_s: float
+    reports: Dict[str, ContentionReport]
+    wall_s: float = 0.0
+    #: Peak concurrent scan workers observed during the fan-out.
+    peak_workers: int = 1
+
+    @property
+    def machines(self) -> List[str]:
+        return sorted(self.reports)
+
+    def report_for(self, machine: str) -> ContentionReport:
+        try:
+            return self.reports[machine]
+        except KeyError:
+            raise KeyError(f"no diagnosis for machine {machine!r}") from None
+
+    @property
+    def degraded_machines(self) -> List[str]:
+        """Machines whose verdicts rest on stale or partial counters."""
+        return sorted(m for m, r in self.reports.items() if r.degraded)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_machines)
+
+    @property
+    def loss_by_machine(self) -> Dict[str, float]:
+        """Total ranked packet loss per machine over the shared window."""
+        return {
+            m: sum(el.loss_pkts for el in r.ranked)
+            for m, r in self.reports.items()
+        }
+
+    @property
+    def worst_machine(self) -> Optional[str]:
+        """The machine losing the most packets (None for an empty fleet)."""
+        losses = self.loss_by_machine
+        if not losses:
+            return None
+        return max(sorted(losses), key=lambda m: losses[m])
+
+    @property
+    def verdicts(self) -> List[Tuple[str, Verdict]]:
+        """Every (machine, verdict) pair, machines in sorted order."""
+        return [(m, v) for m in self.machines for v in self.reports[m].verdicts]
+
+    def summary(self) -> str:
+        lines = [
+            f"Fleet diagnosis over {len(self.reports)} machine(s) "
+            f"({self.window_s}s window):"
+        ]
+        if self.degraded:
+            lines.append(
+                "  !! DEGRADED on: " + ", ".join(self.degraded_machines)
+            )
+        losses = self.loss_by_machine
+        for machine in sorted(losses, key=lambda m: -losses[m]):
+            report = self.reports[machine]
+            verdicts = "; ".join(v.describe() for v in report.verdicts)
+            lines.append(
+                f"  {machine}: loss={losses[machine]:.0f}"
+                + (f" -> {verdicts}" if verdicts else " (no verdicts)")
+            )
         return "\n".join(lines)
 
 

@@ -21,6 +21,7 @@ clocks and under any refresh cadence.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -75,6 +76,10 @@ class AgentHealth:
         self.policy = policy if policy is not None else HealthPolicy()
         #: The tracked agent/machine, for events (optional but useful).
         self.name = name
+        # Concurrent refresh workers may record outcomes for the same
+        # agent (a retried sync racing a health probe); the state machine
+        # itself stays consistent under that.
+        self._lock = threading.Lock()
         self.state = HEALTHY
         self.consecutive_failures = 0
         self.consecutive_successes = 0
@@ -88,30 +93,32 @@ class AgentHealth:
 
     def record_success(self) -> str:
         """One successful collection exchange; returns the new state."""
-        self.total_successes += 1
-        self.consecutive_failures = 0
-        self.consecutive_successes += 1
-        if (
-            self.state != HEALTHY
-            and self.consecutive_successes >= self.policy.recover_after
-        ):
-            self._transition(HEALTHY)
-        return self.state
+        with self._lock:
+            self.total_successes += 1
+            self.consecutive_failures = 0
+            self.consecutive_successes += 1
+            if (
+                self.state != HEALTHY
+                and self.consecutive_successes >= self.policy.recover_after
+            ):
+                self._transition(HEALTHY)
+            return self.state
 
     def record_failure(self, error: Optional[BaseException] = None) -> str:
         """One failed collection exchange; returns the new state."""
-        self.total_failures += 1
-        self.consecutive_successes = 0
-        self.consecutive_failures += 1
-        if error is not None:
-            self.last_error = error
-        if self.consecutive_failures >= self.policy.dead_after:
-            if self.state != DEAD:
-                self._transition(DEAD)
-        elif self.consecutive_failures >= self.policy.degraded_after:
-            if self.state == HEALTHY:
-                self._transition(DEGRADED)
-        return self.state
+        with self._lock:
+            self.total_failures += 1
+            self.consecutive_successes = 0
+            self.consecutive_failures += 1
+            if error is not None:
+                self.last_error = error
+            if self.consecutive_failures >= self.policy.dead_after:
+                if self.state != DEAD:
+                    self._transition(DEAD)
+            elif self.consecutive_failures >= self.policy.degraded_after:
+                if self.state == HEALTHY:
+                    self._transition(DEGRADED)
+            return self.state
 
     def _transition(self, new_state: str) -> None:
         self.transitions.append((self.state, new_state))

@@ -12,11 +12,23 @@ happened before the request reached the peer (the connect failed).
 When the budget is exhausted the caller gets a typed
 :class:`AgentUnreachable` so the controller can feed its health state
 machine instead of crashing the collection plane.
+
+Concurrency: one handle is safe to share across threads.  Instead of a
+single persistent socket (which would serialize concurrent callers),
+the handle keeps a small :class:`~repro.core.concurrency.ConnectionPool`
+of connections — each operation checks one out for its request/response
+exchange and returns it, so up to ``pool_size`` operations against the
+same agent run in parallel.  The retry and idempotency rules above are
+enforced *per connection*: a failed exchange discards exactly the
+connection it happened on (the rest of the pool keeps serving), and the
+"did the request reach the peer" judgment is made against that
+connection's own send.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
@@ -24,6 +36,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 import socket
 
 from repro import obs
+from repro.core.concurrency import ConnectionPool
 from repro.core.counters import CounterSnapshot
 from repro.core.net.protocol import (
     IDEMPOTENT_OPS,
@@ -40,10 +53,17 @@ from repro.core.net.protocol import (
 from repro.core.records import StatRecord
 
 #: Self-observability names; the ``op`` label is bounded by the
-#: protocol's op inventory.
+#: protocol's op inventory, ``agent`` by the fleet size.
 WIRE_OP_LATENCY_METRIC = "perfsight_wire_op_latency_seconds"
 WIRE_RETRIES_METRIC = "perfsight_wire_retries_total"
 WIRE_UNREACHABLE_METRIC = "perfsight_wire_unreachable_total"
+POOL_IN_USE_METRIC = "perfsight_client_pool_in_use"
+POOL_IDLE_METRIC = "perfsight_client_pool_idle"
+
+#: Default connection-pool shape per handle: enough parallelism for a
+#: controller's fan-out against one agent without hoarding sockets.
+DEFAULT_POOL_SIZE = 4
+DEFAULT_POOL_IDLE_S = 60.0
 
 
 class AgentUnreachable(ConnectionError):
@@ -111,10 +131,14 @@ class RetryPolicy:
 class RemoteAgentHandle:
     """Controller-side proxy for an agent behind an :class:`AgentServer`.
 
-    Keeps one persistent connection (reconnecting on failure); all
-    operations are synchronous request/response with the retry policy
-    above.  ``sleep``, ``clock`` and ``rng`` are injectable so tests can
-    drive the retry loop deterministically without real waiting.
+    Keeps a small pool of connections (``pool_size``) so concurrent
+    callers pipeline against the agent instead of serializing on one
+    socket; each operation is a synchronous request/response exchange on
+    a checked-out connection, governed by the retry policy above.
+    ``sleep``, ``clock`` and ``rng`` are injectable so tests can drive
+    the retry loop deterministically without real waiting; passing
+    ``seed`` instead of ``rng`` makes the backoff jitter reproducible
+    without sharing generator state across handles.
     """
 
     def __init__(
@@ -127,6 +151,9 @@ class RemoteAgentHandle:
         sleep: Callable[[float], None] = time.sleep,
         clock: Callable[[], float] = time.monotonic,
         rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
+        pool_size: int = DEFAULT_POOL_SIZE,
+        pool_idle_s: Optional[float] = DEFAULT_POOL_IDLE_S,
     ):
         self.host = host
         self.port = port
@@ -135,25 +162,47 @@ class RemoteAgentHandle:
         self.retry = retry if retry is not None else RetryPolicy()
         self._sleep = sleep
         self._clock = clock
-        self._rng = rng if rng is not None else random.Random()
-        self._sock: Optional[socket.socket] = None
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._rng_lock = threading.Lock()
+        self.pool = ConnectionPool(
+            factory=self._connect,
+            closer=self._close_sock,
+            max_size=pool_size,
+            max_idle_s=pool_idle_s,
+            on_change=self._export_pool_gauges,
+        )
 
     # -- connection management ----------------------------------------------------
 
     def _connect(self) -> socket.socket:
-        if self._sock is not None:
-            return self._sock
         sock = socket.create_connection((self.host, self.port), timeout=self.timeout_s)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock = sock
         return sock
 
+    @staticmethod
+    def _close_sock(sock: socket.socket) -> None:
+        sock.close()
+
+    def _export_pool_gauges(self, in_use: int, idle: int) -> None:
+        obs.gauge(POOL_IN_USE_METRIC, float(in_use), agent=self.name)
+        obs.gauge(POOL_IDLE_METRIC, float(idle), agent=self.name)
+
     def close(self) -> None:
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            finally:
-                self._sock = None
+        """Close every pooled connection.
+
+        In-flight operations keep the connection they checked out (it is
+        closed when they finish); the next call after ``close`` simply
+        reconnects, matching the old single-socket behavior.
+        """
+        self.pool.close_all()
+        self.pool.reopen()
+
+    def _backoff(self, attempt: int) -> float:
+        # The shared RNG is the one piece of cross-connection state;
+        # serialize draws so seeded handles stay reproducible even when
+        # two connections retry at once.
+        with self._rng_lock:
+            return self.retry.backoff_s(attempt, self._rng)
 
     def _call(self, request: dict) -> dict:
         op = str(request.get("op"))
@@ -168,21 +217,28 @@ class RemoteAgentHandle:
             inject_trace(request, obs.current_trace())
             while True:
                 sent = False
+                sock: Optional[socket.socket] = None
                 try:
-                    sock = self._connect()
+                    sock = self.pool.checkout(timeout_s=self.timeout_s)
                     send_message(sock, request)
                     sent = True
                     response = recv_message(sock)
+                    self.pool.checkin(sock)
                     break
                 except (ConnectionError, OSError) as exc:
-                    self.close()
+                    # Only the connection the failure happened on dies;
+                    # concurrent exchanges on pooled siblings are
+                    # untouched.  A checkout that itself failed (connect
+                    # refused, pool timeout) has nothing to discard.
+                    if sock is not None:
+                        self.pool.discard(sock)
                     attempts += 1
                     # A non-idempotent request that may have reached the peer
                     # must not be replayed: the failure is terminal.
                     retryable = blind_retry or not sent
                     if not retryable or attempts >= self.retry.max_attempts:
                         self._give_up(op, attempts, started, exc)
-                    delay = self.retry.backoff_s(attempts - 1, self._rng)
+                    delay = self._backoff(attempts - 1)
                     if self._clock() + delay > deadline:
                         self._give_up(op, attempts, started, exc)
                     obs.counter(WIRE_RETRIES_METRIC, op=op)

@@ -1,4 +1,15 @@
-"""TCP server exposing one agent to remote controllers."""
+"""TCP server exposing one agent to remote controllers.
+
+Request concurrency follows a reader/writer discipline
+(:class:`~repro.core.concurrency.RWLock`): PING answers lock-free,
+the read-only ops (QUERY and the listings) share the read side and run
+concurrently with each other *and* with an in-flight collection sweep,
+and only the BATCH_DELTA drain — the atomic changed-snapshots + cursor
+pair — takes the write side.  Under the old single global lock a slow
+sweep stalled every ping and query queued behind it; now read-only
+traffic keeps flowing while the store's internal lock keeps its
+appends safe.
+"""
 
 from __future__ import annotations
 
@@ -10,6 +21,7 @@ from typing import Optional, Tuple
 
 from repro import obs
 from repro.core.agent import Agent
+from repro.core.concurrency import RWLock
 from repro.core.net.protocol import (
     OP_BATCH_DELTA,
     OP_LIST_ELEMENTS,
@@ -33,7 +45,7 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
 
     def handle(self) -> None:
         agent: Agent = self.server.agent  # type: ignore[attr-defined]
-        lock: threading.Lock = self.server.agent_lock  # type: ignore[attr-defined]
+        lock: RWLock = self.server.agent_lock  # type: ignore[attr-defined]
         while True:
             try:
                 request = recv_message(self.request)
@@ -76,27 +88,36 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
             return False
 
     @staticmethod
-    def _dispatch(agent: Agent, lock: threading.Lock, request: dict) -> dict:
+    def _dispatch(agent: Agent, lock: RWLock, request: dict) -> dict:
         op = request.get("op")
         if op == OP_PING:
             return {"ok": True, "agent": agent.name}
         if op == OP_LIST_ELEMENTS:
-            with lock:
+            with lock.read_locked():
                 return {"ok": True, "elements": agent.element_ids()}
         if op == OP_STACK_ELEMENTS:
-            with lock:
+            with lock.read_locked():
                 ids = [e.name for e in agent.machine.stack_elements()]
             return {"ok": True, "elements": ids}
         if op == OP_QUERY:
             element_ids = request.get("elements")
             attrs = request.get("attrs")
-            with lock:
+            with lock.read_locked():
                 records = agent.query(element_ids, attrs)
             return {"ok": True, "records": [r.to_dict() for r in records]}
         if op == OP_BATCH_DELTA:
             acked = parse_acked(request)
-            with lock:
-                batch, cursor = agent.collect_delta(acked)
+            # The pull-through sweep runs on the READ side: the store's
+            # internal lock makes its appends safe under concurrent
+            # readers and the agent's own sweep mutex serializes sweeps,
+            # so a slow sweep never stalls read-only ops.  Only the
+            # drain — the atomic changed-snapshots + cursor pair — takes
+            # the write side.
+            with lock.read_locked():
+                if not agent.polling:
+                    agent.poll_once()
+            with lock.write_locked():
+                batch, cursor = agent.store.drain(acked)
             return {
                 "ok": True,
                 "machine": agent.machine.name,
@@ -165,8 +186,13 @@ class AgentServer:
             (host, port), _AgentRequestHandler, bind_and_activate=True
         )
         self._server.agent = agent  # type: ignore[attr-defined]
-        self._server.agent_lock = threading.Lock()  # type: ignore[attr-defined]
+        self._server.agent_lock = RWLock()  # type: ignore[attr-defined]
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def lock(self) -> RWLock:
+        """The reader/writer lock gating request dispatch (for tests)."""
+        return self._server.agent_lock  # type: ignore[attr-defined]
 
     @property
     def address(self) -> Tuple[str, int]:

@@ -22,12 +22,22 @@ regression, or a shrinking monotonic counter — the store **re-baselines**
 the element: it drops the pre-restart history and restarts the series
 from the incoming snapshot, counting the event in :attr:`resets`.
 Diagnosis windows then never straddle a restart.
+
+The store is thread-safe: an internal lock covers every ingest and
+lookup, so an agent's cadence sweep can append while server handler
+threads answer window queries (and, controller-side, while the fleet
+refresh pool syncs one mirror as diagnosis threads read another)
+without torn reads or ``deque mutated during iteration`` surprises.
+The critical sections are tiny — a dict probe and a ring scan — so the
+lock does not serialize anything that matters; the wire-level
+reader/writer discipline lives in :mod:`repro.core.net.server`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Mapping
+from typing import Deque, Dict, Iterable, List, Mapping, Tuple
 
 from repro.core.counters import CounterSnapshot, CounterWindow
 
@@ -78,6 +88,9 @@ class TimeSeriesStore:
         self.capacity_per_element = capacity_per_element
         self.on_regression = on_regression
         self._series: Dict[str, Deque[CounterSnapshot]] = {}
+        # Reentrant because the public lookups compose (window ->
+        # at_or_before) without releasing between steps.
+        self._lock = threading.RLock()
         self.total_appended = 0
         self.total_deduped = 0
         self.resets: Dict[str, int] = {}
@@ -95,30 +108,31 @@ class TimeSeriesStore:
         store and its controller mirror byte-for-byte identical once the
         mirror has acknowledged the latest sequence numbers.
         """
-        series = self._series.get(snap.element_id)
-        if series is None:
-            series = self._series[snap.element_id] = deque(
-                maxlen=self.capacity_per_element
-            )
-        if series:
-            latest = series[-1]
-            if snap.seq == latest.seq:
-                self.total_deduped += 1
-                return False
-            if self._is_reset(latest, snap):
-                if self.on_regression == "raise":
-                    raise ValueError(
-                        f"non-monotonic snapshot for {snap.element_id!r}: "
-                        f"seq {snap.seq} after {latest.seq}"
-                    )
-                series.clear()
-                self.resets[snap.element_id] = (
-                    self.resets.get(snap.element_id, 0) + 1
+        with self._lock:
+            series = self._series.get(snap.element_id)
+            if series is None:
+                series = self._series[snap.element_id] = deque(
+                    maxlen=self.capacity_per_element
                 )
-                self.total_resets += 1
-        series.append(snap)
-        self.total_appended += 1
-        return True
+            if series:
+                latest = series[-1]
+                if snap.seq == latest.seq:
+                    self.total_deduped += 1
+                    return False
+                if self._is_reset(latest, snap):
+                    if self.on_regression == "raise":
+                        raise ValueError(
+                            f"non-monotonic snapshot for {snap.element_id!r}: "
+                            f"seq {snap.seq} after {latest.seq}"
+                        )
+                    series.clear()
+                    self.resets[snap.element_id] = (
+                        self.resets.get(snap.element_id, 0) + 1
+                    )
+                    self.total_resets += 1
+            series.append(snap)
+            self.total_appended += 1
+            return True
 
     @staticmethod
     def _is_reset(latest: CounterSnapshot, snap: CounterSnapshot) -> bool:
@@ -145,18 +159,22 @@ class TimeSeriesStore:
         return sum(1 for snap in snaps if self.append(snap))
 
     def clear(self) -> None:
-        self._series.clear()
+        with self._lock:
+            self._series.clear()
 
     # -- lookups ----------------------------------------------------------------
 
     def element_ids(self) -> List[str]:
-        return sorted(self._series)
+        with self._lock:
+            return sorted(self._series)
 
     def __contains__(self, element_id: str) -> bool:
-        return element_id in self._series
+        with self._lock:
+            return element_id in self._series
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._series.values())
+        with self._lock:
+            return sum(len(s) for s in self._series.values())
 
     def _get_series(self, element_id: str) -> Deque[CounterSnapshot]:
         try:
@@ -165,18 +183,20 @@ class TimeSeriesStore:
             raise StoreError(f"no snapshots stored for element {element_id!r}") from None
 
     def latest(self, element_id: str) -> CounterSnapshot:
-        return self._get_series(element_id)[-1]
+        with self._lock:
+            return self._get_series(element_id)[-1]
 
     def at_or_before(self, element_id: str, t: float) -> CounterSnapshot:
         """The element's state as of time ``t`` (latest sample <= t)."""
-        series = self._get_series(element_id)
-        for snap in reversed(series):
-            if snap.timestamp <= t + 1e-12:
-                return snap
-        raise StoreError(
-            f"no snapshot of {element_id!r} at or before t={t}: "
-            f"history starts at {series[0].timestamp}"
-        )
+        with self._lock:
+            series = self._get_series(element_id)
+            for snap in reversed(series):
+                if snap.timestamp <= t + 1e-12:
+                    return snap
+            raise StoreError(
+                f"no snapshot of {element_id!r} at or before t={t}: "
+                f"history starts at {series[0].timestamp}"
+            )
 
     def window(self, element_id: str, t0: float, t1: float) -> CounterWindow:
         """The element's activity over ``[t0, t1]``.
@@ -186,13 +206,14 @@ class TimeSeriesStore:
         """
         if t1 < t0:
             raise ValueError(f"window ends before it starts: [{t0}, {t1}]")
-        series = self._get_series(element_id)
-        end = self.at_or_before(element_id, t1)
-        try:
-            start = self.at_or_before(element_id, t0)
-        except StoreError:
-            start = series[0]
-        return CounterWindow(start=start, end=end)
+        with self._lock:
+            series = self._get_series(element_id)
+            end = self.at_or_before(element_id, t1)
+            try:
+                start = self.at_or_before(element_id, t0)
+            except StoreError:
+                start = series[0]
+            return CounterWindow(start=start, end=end)
 
     def window_ending_now(self, element_id: str, duration_s: float) -> CounterWindow:
         """The trailing ``duration_s`` window up to the latest sample.
@@ -202,21 +223,27 @@ class TimeSeriesStore:
         """
         if duration_s <= 0:
             raise ValueError(f"window duration must be positive: {duration_s!r}")
-        series = self._get_series(element_id)
-        end = series[-1]
-        t0 = end.timestamp - duration_s + 1e-12
-        start = series[0]
-        for snap in reversed(series):
-            if snap.timestamp <= t0:
-                start = snap
-                break
-        return CounterWindow(start=start, end=end)
+        with self._lock:
+            series = self._get_series(element_id)
+            end = series[-1]
+            t0 = end.timestamp - duration_s + 1e-12
+            start = series[0]
+            for snap in reversed(series):
+                if snap.timestamp <= t0:
+                    start = snap
+                    break
+            return CounterWindow(start=start, end=end)
 
     # -- delta-batched collection -------------------------------------------------
 
     def cursor(self) -> Dict[str, int]:
         """element id -> latest stored sequence number (the ack vector)."""
-        return {eid: series[-1].seq for eid, series in self._series.items() if series}
+        with self._lock:
+            return {
+                eid: series[-1].seq
+                for eid, series in self._series.items()
+                if series
+            }
 
     def changed_since(self, acked: Mapping[str, int]) -> List[CounterSnapshot]:
         """Every stored snapshot newer than the collector's ack vector.
@@ -229,15 +256,30 @@ class TimeSeriesStore:
         (it restarted and re-numbered); everything held is resent so the
         mirror can observe the regression and re-baseline.
         """
-        out: List[CounterSnapshot] = []
-        for eid in sorted(self._series):
-            floor = acked.get(eid, -1)
-            series = self._series[eid]
-            if not series:
-                continue
-            if series[-1].seq < floor:
-                floor = -1
-            elif series[-1].seq == floor:
-                continue
-            out.extend(snap for snap in series if snap.seq > floor)
-        return out
+        with self._lock:
+            out: List[CounterSnapshot] = []
+            for eid in sorted(self._series):
+                floor = acked.get(eid, -1)
+                series = self._series[eid]
+                if not series:
+                    continue
+                if series[-1].seq < floor:
+                    floor = -1
+                elif series[-1].seq == floor:
+                    continue
+                out.extend(snap for snap in series if snap.seq > floor)
+            return out
+
+    def drain(
+        self, acked: Mapping[str, int]
+    ) -> Tuple[List[CounterSnapshot], Dict[str, int]]:
+        """:meth:`changed_since` and :meth:`cursor` as one atomic step.
+
+        The pair must be computed under one lock hold: were a cadence
+        sweep to append between the two calls, the cursor would
+        acknowledge a sequence number whose snapshot is not in the
+        batch, and the collector would never receive it (until the
+        element happened to change again).
+        """
+        with self._lock:
+            return self.changed_since(acked), self.cursor()

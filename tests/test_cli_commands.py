@@ -32,6 +32,15 @@ class TestParser:
         assert "obs" in capsys.readouterr().out
         assert "obs" in EXPERIMENTS
 
+    def test_fleet_flags(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.agents == 4 and args.latency_ms == 10.0 and not args.json
+        args = build_parser().parse_args(
+            ["fleet", "--agents", "2", "--latency-ms", "1", "--json"]
+        )
+        assert args.agents == 2 and args.latency_ms == 1.0 and args.json
+        assert "fleet" in EXPERIMENTS
+
 
 @pytest.mark.slow
 class TestHeavyCommands:
@@ -65,3 +74,14 @@ class TestHeavyCommands:
         assert {"diagnosis.propagation", "wire.call", "wire.serve"} <= span_names
         assert "perfsight_channel_read_latency_seconds_bucket" in doc["prometheus"]
         assert any(e["name"] == "health.transition" for e in doc["events"])
+
+    def test_fleet_json_document(self, capsys):
+        import json
+
+        assert main(["fleet", "--agents", "2", "--latency-ms", "2", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["agents"] == 2
+        assert doc["peak_workers"] >= 2
+        assert set(doc["machines"]) == {"host-0", "host-1"}
+        assert all(m["ok"] for m in doc["machines"].values())
+        assert doc["diagnosis"]["degraded_machines"] == []

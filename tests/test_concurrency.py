@@ -1,0 +1,278 @@
+"""Unit tests for the collection-plane concurrency primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.concurrency import (
+    ConnectionPool,
+    LockTimeout,
+    PoolClosed,
+    PoolTimeout,
+    RWLock,
+)
+
+
+def run_threads(targets, timeout_s=5.0):
+    threads = [threading.Thread(target=t, daemon=True) for t in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout_s)
+        assert not t.is_alive(), "worker thread deadlocked"
+
+
+class TestRWLock:
+    def test_readers_share_the_lock(self):
+        lock = RWLock()
+        inside = threading.Barrier(4, timeout=5.0)
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all four must be inside at once to pass
+
+        run_threads([reader] * 4)
+        assert lock.max_concurrent_readers == 4
+        assert lock.read_acquisitions == 4
+        assert lock.readers == 0
+
+    def test_writer_excludes_readers_and_writers(self):
+        lock = RWLock()
+        active = []
+        errors = []
+
+        def writer():
+            with lock.write_locked():
+                active.append("w")
+                if len(active) != 1:
+                    errors.append(f"writer overlapped: {active}")
+                time.sleep(0.01)
+                active.remove("w")
+
+        def reader():
+            with lock.read_locked():
+                active.append("r")
+                if "w" in active:
+                    errors.append(f"reader overlapped writer: {active}")
+                time.sleep(0.005)
+                active.remove("r")
+
+        run_threads([writer, reader, writer, reader, writer])
+        assert not errors
+        assert lock.write_acquisitions == 3
+
+    def test_waiting_writer_gates_new_readers(self):
+        lock = RWLock()
+        order = []
+        first_reader_in = threading.Event()
+        writer_waiting = threading.Event()
+
+        def long_reader():
+            with lock.read_locked():
+                first_reader_in.set()
+                # Hold until the writer is provably queued behind us.
+                writer_waiting.wait(timeout=5.0)
+                time.sleep(0.02)
+
+        def writer():
+            first_reader_in.wait(timeout=5.0)
+            writer_waiting.set()
+            with lock.write_locked():
+                order.append("writer")
+
+        def late_reader():
+            first_reader_in.wait(timeout=5.0)
+            writer_waiting.wait(timeout=5.0)
+            time.sleep(0.005)  # arrive while the writer is waiting
+            with lock.read_locked():
+                order.append("late_reader")
+
+        run_threads([long_reader, writer, late_reader])
+        # Writer preference: the queued writer went before the reader
+        # that arrived after it.
+        assert order == ["writer", "late_reader"]
+
+    def test_read_acquire_times_out_under_writer(self):
+        lock = RWLock()
+        lock.acquire_write()
+        try:
+            with pytest.raises(LockTimeout):
+                lock.acquire_read(timeout_s=0.02)
+        finally:
+            lock.release_write()
+
+    def test_write_acquire_times_out_under_reader(self):
+        lock = RWLock()
+        lock.acquire_read()
+        try:
+            with pytest.raises(LockTimeout):
+                lock.acquire_write(timeout_s=0.02)
+        finally:
+            lock.release_read()
+        # And succeeds once the reader is gone.
+        with lock.write_locked(timeout_s=1.0):
+            assert lock.writer_active
+
+    def test_unmatched_releases_raise(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class CountingFactory:
+    """Resource factory producing distinct, closable tokens."""
+
+    def __init__(self, fail_times: int = 0):
+        self.made = 0
+        self.closed = []
+        self.fail_times = fail_times
+        self._lock = threading.Lock()
+
+    def make(self):
+        with self._lock:
+            if self.fail_times > 0:
+                self.fail_times -= 1
+                raise ConnectionRefusedError("factory down")
+            self.made += 1
+            return f"conn-{self.made}"
+
+    def close(self, resource):
+        self.closed.append(resource)
+
+
+class TestConnectionPool:
+    def test_checkin_enables_reuse(self):
+        f = CountingFactory()
+        pool = ConnectionPool(f.make, f.close, max_size=2)
+        a = pool.checkout()
+        pool.checkin(a)
+        b = pool.checkout()
+        assert b == a  # warmest connection reused, not a new one
+        assert pool.created == 1 and pool.reused == 1
+
+    def test_lifo_reuse_keeps_warmest(self):
+        f = CountingFactory()
+        pool = ConnectionPool(f.make, f.close, max_size=3)
+        a, b = pool.checkout(), pool.checkout()
+        pool.checkin(a)
+        pool.checkin(b)
+        assert pool.checkout() == b  # last returned, first out
+
+    def test_max_size_blocks_until_checkin(self):
+        f = CountingFactory()
+        pool = ConnectionPool(f.make, f.close, max_size=1)
+        a = pool.checkout()
+        got = []
+
+        def blocked_checkout():
+            got.append(pool.checkout(timeout_s=5.0))
+
+        t = threading.Thread(target=blocked_checkout, daemon=True)
+        t.start()
+        time.sleep(0.02)
+        assert not got, "checkout should block while the slot is taken"
+        pool.checkin(a)
+        t.join(timeout=5.0)
+        assert got == [a]
+
+    def test_exhausted_pool_times_out_as_oserror(self):
+        f = CountingFactory()
+        pool = ConnectionPool(f.make, f.close, max_size=1)
+        pool.checkout()
+        with pytest.raises(PoolTimeout):
+            pool.checkout(timeout_s=0.02)
+        # The retry loop's contract: pool exhaustion is a transport error.
+        assert issubclass(PoolTimeout, OSError)
+
+    def test_discard_frees_slot_and_closes(self):
+        f = CountingFactory()
+        pool = ConnectionPool(f.make, f.close, max_size=1)
+        a = pool.checkout()
+        pool.discard(a)
+        assert f.closed == [a]
+        b = pool.checkout(timeout_s=1.0)  # slot is free again
+        assert b != a
+        assert pool.discarded == 1
+
+    def test_factory_failure_releases_reserved_slot(self):
+        f = CountingFactory(fail_times=1)
+        pool = ConnectionPool(f.make, f.close, max_size=1)
+        with pytest.raises(ConnectionRefusedError):
+            pool.checkout()
+        assert pool.in_use == 0
+        assert pool.checkout(timeout_s=1.0)  # slot was not leaked
+
+    def test_idle_reaping(self):
+        clock = [0.0]
+        f = CountingFactory()
+        pool = ConnectionPool(
+            f.make, f.close, max_size=2, max_idle_s=10.0, clock=lambda: clock[0]
+        )
+        a = pool.checkout()
+        pool.checkin(a)
+        clock[0] = 11.0
+        assert pool.reap_idle() == 1
+        assert f.closed == [a]
+        b = pool.checkout()  # fresh connection, not the stale one
+        assert b != a
+
+    def test_stale_idle_not_served_on_checkout(self):
+        clock = [0.0]
+        f = CountingFactory()
+        pool = ConnectionPool(
+            f.make, f.close, max_size=2, max_idle_s=5.0, clock=lambda: clock[0]
+        )
+        a = pool.checkout()
+        pool.checkin(a)
+        clock[0] = 6.0
+        assert pool.checkout() != a  # reaped inline, never handed back out
+        assert pool.reaped == 1
+
+    def test_close_all_refuses_checkout_and_reopen_recovers(self):
+        f = CountingFactory()
+        pool = ConnectionPool(f.make, f.close, max_size=2)
+        a = pool.checkout()
+        b = pool.checkout()
+        pool.checkin(a)
+        pool.close_all()
+        assert f.closed == [a]  # idle closed immediately
+        with pytest.raises(PoolClosed):
+            pool.checkout()
+        pool.checkin(b)  # borrower returns after close -> closed, not pooled
+        assert f.closed == [a, b]
+        pool.reopen()
+        assert pool.checkout(timeout_s=1.0)
+
+    def test_on_change_reports_gauge_pairs(self):
+        seen = []
+        f = CountingFactory()
+        pool = ConnectionPool(
+            f.make, f.close, max_size=2, on_change=lambda u, i: seen.append((u, i))
+        )
+        a = pool.checkout()
+        assert seen[-1] == (1, 0)
+        pool.checkin(a)
+        assert seen[-1] == (0, 1)
+        pool.checkout()
+        assert seen[-1] == (1, 0)
+
+    def test_concurrent_checkouts_respect_bound(self):
+        f = CountingFactory()
+        pool = ConnectionPool(f.make, f.close, max_size=3)
+        peak = [0]
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(20):
+                conn = pool.checkout(timeout_s=5.0)
+                with lock:
+                    peak[0] = max(peak[0], pool.in_use)
+                assert pool.in_use <= 3
+                pool.checkin(conn)
+
+        run_threads([worker] * 6)
+        assert peak[0] <= 3
+        assert f.made <= 3  # never created more than the bound
