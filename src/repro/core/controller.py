@@ -127,6 +127,16 @@ class AgentMirror:
     def sync(self) -> int:
         """One BATCH_DELTA exchange; returns snapshots received.
 
+        Prefers the handle's columnar :meth:`collect_blocks` surface
+        when it has one (remote handles over the binary codec, and the
+        in-process agent): the changed rows land straight in this
+        mirror's value arrays via
+        :meth:`TimeSeriesStore.apply_blocks`, with no snapshot dicts
+        built anywhere on the path.  A handle that only speaks
+        ``collect_delta`` (a custom test double, an old shim) is served
+        identically through the dict-shaped view — the mirror contents
+        are byte-for-byte the same either way.
+
         A sync the agent cannot serve (unreachable, protocol garbage)
         records a health failure and returns 0 — the mirror keeps its
         last known state and the controller keeps answering from it.
@@ -137,9 +147,15 @@ class AgentMirror:
         Safe to call from concurrent refresh workers: the per-mirror
         lock keeps the exchange + cursor update atomic per mirror.
         """
+        collect_blocks = getattr(self.handle, "collect_blocks", None)
         with self._sync_lock, obs.span("mirror.sync", machine=self.machine) as sp:
             try:
-                batch, cursor = self.handle.collect_delta(self.acked)
+                if collect_blocks is not None:
+                    blocks, cursor = collect_blocks(self.acked)
+                    received = sum(len(rows) for _, _, _, rows in blocks)
+                else:
+                    batch, cursor = self.handle.collect_delta(self.acked)
+                    received = len(batch)
             except COLLECTION_ERRORS as exc:
                 self.failed_syncs += 1
                 self.last_error = exc
@@ -152,17 +168,20 @@ class AgentMirror:
                 )
                 sp.set("ok", False)
                 return 0
-            self.store.extend(batch)
+            if collect_blocks is not None:
+                self.store.apply_blocks(blocks)
+            else:
+                self.store.extend(batch)
             self.acked = dict(cursor)
             self.syncs += 1
-            self.snapshots_received += len(batch)
+            self.snapshots_received += received
             self.health.record_success()
             obs.counter(SYNC_TOTAL_METRIC, machine=self.machine, ok="true")
             obs.counter(
-                SYNC_SNAPSHOTS_METRIC, float(len(batch)), machine=self.machine
+                SYNC_SNAPSHOTS_METRIC, float(received), machine=self.machine
             )
-            sp.set("snapshots", len(batch))
-            return len(batch)
+            sp.set("snapshots", received)
+            return received
 
     def data_quality(self, now: Optional[float] = None) -> DataQuality:
         """The staleness annotation for answers served from this mirror."""

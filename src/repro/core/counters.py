@@ -23,9 +23,32 @@ which is what Table 2 and Figures 15-16 quantify.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, Mapping, Optional
+from math import isnan
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
 from repro.core.records import StatRecord
+
+#: Attribute-value sentinel meaning "this element does not export this
+#: counter".  The array-backed store and the binary wire codec keep every
+#: row at a fixed stride, so absent cells travel as NaN and are stripped
+#: again on materialization; real counters are always finite.
+ABSENT = float("nan")
+
+#: The attribute names every :class:`CounterSet` exports regardless of
+#: traffic: the fixed half of the wire schema, seeded into a
+#: connection's id tables at HELLO time so steady-state binary frames
+#: need no dictionary deltas.  Dynamic names (``drops.<location>``,
+#: ``drops_flow.<flow>``) are announced incrementally by the codec.
+STANDARD_ATTRS = (
+    "rx_pkts",
+    "rx_bytes",
+    "tx_pkts",
+    "tx_bytes",
+    "drops",
+    "drop_bytes",
+    "in_time",
+    "out_time",
+)
 
 #: Cost of one simple (packet or byte) counter update, in seconds.
 #: Measured in the paper's testbed (Section 7.4): "simple counters consume
@@ -124,6 +147,30 @@ class CounterSnapshot:
             raise ValueError("counter snapshot attrs must be a mapping")
         attrs = {str(k): float(v) for k, v in attrs_raw.items()}
         return cls(element_id, str(payload.get("machine", "")), seq, timestamp, attrs)
+
+    @classmethod
+    def from_columns(
+        cls,
+        element_id: str,
+        machine: str,
+        seq: int,
+        timestamp: float,
+        names: Sequence[str],
+        values: Sequence[float],
+    ) -> "CounterSnapshot":
+        """Materialize one row of a column-oriented series.
+
+        ``names`` and ``values`` are position-aligned; :data:`ABSENT`
+        (NaN) cells mark counters the element does not export and are
+        dropped, so the dict view is indistinguishable from a snapshot
+        that was never columnar.
+        """
+        attrs = {
+            name: value
+            for name, value in zip(names, values)
+            if not isnan(value)
+        }
+        return cls(element_id, machine, seq, timestamp, attrs)
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,7 @@ mid-exchange, and stall when the network partitions.  The handle
 therefore wraps every operation in a bounded retry loop with jittered
 exponential backoff and a per-operation deadline.  Only idempotent ops
 (:data:`~repro.core.net.protocol.IDEMPOTENT_OPS` — PING, the listings,
-and BATCH_DELTA, whose ack vector makes replay safe) are retried
+HELLO, and BATCH_DELTA, whose ack vector makes replay safe) are retried
 blindly; a non-idempotent op is retried only when the failure provably
 happened before the request reached the peer (the connect failed).
 When the budget is exhausted the caller gets a typed
@@ -23,34 +23,55 @@ enforced *per connection*: a failed exchange discards exactly the
 connection it happened on (the rest of the pool keeps serving), and the
 "did the request reach the peer" judgment is made against that
 connection's own send.
+
+Wire codec: each pooled connection negotiates its own codec lazily via
+HELLO on its first BATCH_DELTA — ``bin1`` (packed binary payloads, see
+:mod:`repro.core.net.codec`) against a current agent, ``json`` against
+an old peer that refuses HELLO or a server pinned to the fallback.  The
+negotiated id tables live on the connection, so pool churn, retries and
+reconnects re-negotiate transparently.  Pass ``codec="json"`` (or set
+:data:`~repro.core.net.protocol.FORCE_JSON_ENV` in the environment) to
+skip HELLO entirely and behave exactly like the pre-binary client.
 """
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 import socket
 
 from repro import obs
 from repro.core.concurrency import ConnectionPool
 from repro.core.counters import CounterSnapshot
+from repro.core.net import codec as wire_codec
+from repro.core.net.codec import CODEC_BIN1, CODEC_JSON, WireSchema
 from repro.core.net.protocol import (
+    FORCE_JSON_ENV,
     IDEMPOTENT_OPS,
+    OP_BATCH_DELTA,
+    OP_HELLO,
     OP_LIST_ELEMENTS,
     OP_PING,
     OP_QUERY,
     OP_STACK_ELEMENTS,
     ProtocolError,
     inject_trace,
+    is_binary_frame,
     make_batch_delta_request,
+    make_hello_request,
+    parse_json_frame,
+    recv_frame,
     recv_message,
+    send_frame,
     send_message,
 )
 from repro.core.records import StatRecord
+from repro.core.store import SeriesBlock, blocks_to_snapshots
 
 #: Self-observability names; the ``op`` label is bounded by the
 #: protocol's op inventory, ``agent`` by the fleet size.
@@ -128,6 +149,23 @@ class RetryPolicy:
         return delay
 
 
+class _WireConn:
+    """One pooled connection plus its negotiated per-connection codec.
+
+    ``codec`` is None until the first BATCH_DELTA triggers HELLO (or
+    the handle is pinned to JSON, in which case negotiation is skipped
+    and every exchange speaks the v0 format).  The id tables in
+    ``schema`` are only ever meaningful to this connection.
+    """
+
+    __slots__ = ("sock", "schema", "codec")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.schema = WireSchema()
+        self.codec: Optional[str] = None
+
+
 class RemoteAgentHandle:
     """Controller-side proxy for an agent behind an :class:`AgentServer`.
 
@@ -139,6 +177,10 @@ class RemoteAgentHandle:
     the retry loop deterministically without real waiting; passing
     ``seed`` instead of ``rng`` makes the backoff jitter reproducible
     without sharing generator state across handles.
+
+    ``codec="auto"`` (default) negotiates the packed binary BATCH_DELTA
+    path per connection and falls back to JSON against old peers;
+    ``codec="json"`` never negotiates — the debugging escape hatch.
     """
 
     def __init__(
@@ -154,19 +196,23 @@ class RemoteAgentHandle:
         seed: Optional[int] = None,
         pool_size: int = DEFAULT_POOL_SIZE,
         pool_idle_s: Optional[float] = DEFAULT_POOL_IDLE_S,
+        codec: str = "auto",
     ):
+        if codec not in ("auto", CODEC_JSON):
+            raise ValueError(f"codec must be 'auto' or 'json': {codec!r}")
         self.host = host
         self.port = port
         self.name = name or f"remote-agent@{host}:{port}"
         self.timeout_s = timeout_s
         self.retry = retry if retry is not None else RetryPolicy()
+        self.codec = CODEC_JSON if os.environ.get(FORCE_JSON_ENV) else codec
         self._sleep = sleep
         self._clock = clock
         self._rng = rng if rng is not None else random.Random(seed)
         self._rng_lock = threading.Lock()
         self.pool = ConnectionPool(
             factory=self._connect,
-            closer=self._close_sock,
+            closer=self._close_conn,
             max_size=pool_size,
             max_idle_s=pool_idle_s,
             on_change=self._export_pool_gauges,
@@ -174,14 +220,14 @@ class RemoteAgentHandle:
 
     # -- connection management ----------------------------------------------------
 
-    def _connect(self) -> socket.socket:
+    def _connect(self) -> _WireConn:
         sock = socket.create_connection((self.host, self.port), timeout=self.timeout_s)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        return sock
+        return _WireConn(sock)
 
     @staticmethod
-    def _close_sock(sock: socket.socket) -> None:
-        sock.close()
+    def _close_conn(conn: _WireConn) -> None:
+        conn.sock.close()
 
     def _export_pool_gauges(self, in_use: int, idle: int) -> None:
         obs.gauge(POOL_IN_USE_METRIC, float(in_use), agent=self.name)
@@ -192,7 +238,8 @@ class RemoteAgentHandle:
 
         In-flight operations keep the connection they checked out (it is
         closed when they finish); the next call after ``close`` simply
-        reconnects, matching the old single-socket behavior.
+        reconnects — with fresh codec negotiation, since the id tables
+        die with their connection.
         """
         self.pool.close_all()
         self.pool.reopen()
@@ -204,38 +251,49 @@ class RemoteAgentHandle:
         with self._rng_lock:
             return self.retry.backoff_s(attempt, self._rng)
 
-    def _call(self, request: dict) -> dict:
-        op = str(request.get("op"))
+    # -- the retry-looped exchange core --------------------------------------------
+
+    def _exchange(self, op: str, perform: Callable[[_WireConn, List[bool]], Any]) -> Any:
+        """Run one request/response exchange under the retry policy.
+
+        ``perform(conn, sent)`` does the actual wire work on a
+        checked-out connection; it must flip ``sent[0]`` once its
+        request bytes have hit the socket, which is what the
+        idempotency judgment keys on.  Transport failures
+        (ConnectionError/OSError) discard the connection and retry
+        within budget; protocol violations discard the connection —
+        its stream can no longer be trusted — and propagate.
+        """
         blind_retry = op in IDEMPOTENT_OPS
         started = self._clock()
         deadline = started + self.retry.deadline_s
         attempts = 0
         with obs.span("wire.call", op=op, agent=self.name) as sp:
-            # The span just opened is the parent the agent-side handler
-            # span links to; a retried request keeps the same context,
-            # so both server attempts land in one trace.
-            inject_trace(request, obs.current_trace())
             while True:
-                sent = False
-                sock: Optional[socket.socket] = None
+                sent = [False]
+                conn: Optional[_WireConn] = None
                 try:
-                    sock = self.pool.checkout(timeout_s=self.timeout_s)
-                    send_message(sock, request)
-                    sent = True
-                    response = recv_message(sock)
-                    self.pool.checkin(sock)
+                    conn = self.pool.checkout(timeout_s=self.timeout_s)
+                    result = perform(conn, sent)
+                    self.pool.checkin(conn)
                     break
+                except ProtocolError:
+                    # The framing on this connection is no longer
+                    # trustworthy; never return it to the pool.
+                    if conn is not None:
+                        self.pool.discard(conn)
+                    raise
                 except (ConnectionError, OSError) as exc:
                     # Only the connection the failure happened on dies;
                     # concurrent exchanges on pooled siblings are
                     # untouched.  A checkout that itself failed (connect
                     # refused, pool timeout) has nothing to discard.
-                    if sock is not None:
-                        self.pool.discard(sock)
+                    if conn is not None:
+                        self.pool.discard(conn)
                     attempts += 1
                     # A non-idempotent request that may have reached the peer
                     # must not be replayed: the failure is terminal.
-                    retryable = blind_retry or not sent
+                    retryable = blind_retry or not sent[0]
                     if not retryable or attempts >= self.retry.max_attempts:
                         self._give_up(op, attempts, started, exc)
                     delay = self._backoff(attempts - 1)
@@ -245,6 +303,22 @@ class RemoteAgentHandle:
                     self._sleep(delay)
             sp.set("attempts", attempts + 1)
             obs.observe(WIRE_OP_LATENCY_METRIC, self._clock() - started, op=op)
+        return result
+
+    def _call(self, request: dict) -> dict:
+        """One JSON request/response exchange (control ops, fallback)."""
+        op = str(request.get("op"))
+        # The wire.call span opened by _exchange is the parent the
+        # agent-side handler span links to; a retried request keeps the
+        # same context, so both server attempts land in one trace.
+        inject_trace(request, obs.current_trace())
+
+        def perform(conn: _WireConn, sent: List[bool]) -> dict:
+            send_message(conn.sock, request)
+            sent[0] = True
+            return recv_message(conn.sock)
+
+        response = self._exchange(op, perform)
         if not response.get("ok"):
             raise RuntimeError(
                 f"agent {self.name} refused {request.get('op')!r}: "
@@ -264,6 +338,31 @@ class RemoteAgentHandle:
         )
         raise AgentUnreachable(self.name, op, attempts, elapsed, exc) from exc
 
+    # -- codec negotiation ----------------------------------------------------------
+
+    def _negotiate(self, conn: _WireConn, sent: List[bool]) -> None:
+        """HELLO on one connection; fixes its codec for its lifetime.
+
+        An old peer that does not know HELLO refuses the op — that *is*
+        the negotiation: the connection speaks JSON from then on, and no
+        data is lost, just bytes.
+
+        Gets its own ``wire.hello`` span (nested under whatever
+        operation triggered it) so each ``wire.call`` span still parents
+        exactly one server-side ``wire.serve`` — the handshake's serve
+        span links here instead.
+        """
+        with obs.span("wire.hello", agent=self.name) as sp:
+            request = inject_trace(make_hello_request(), obs.current_trace())
+            send_message(conn.sock, request)
+            sent[0] = True
+            response = recv_message(conn.sock)
+            if not response.get("ok"):
+                conn.codec = CODEC_JSON
+            else:
+                conn.codec = wire_codec.apply_hello_response(response, conn.schema)
+            sp.set("codec", conn.codec)
+
     # -- AgentHandle interface ---------------------------------------------------------
 
     def ping(self) -> str:
@@ -274,6 +373,24 @@ class RemoteAgentHandle:
 
     def stack_element_ids(self) -> List[str]:
         return [str(e) for e in self._call({"op": OP_STACK_ELEMENTS})["elements"]]
+
+    def hello(self) -> str:
+        """Negotiate (on one pooled connection) and report the codec.
+
+        Mostly a diagnostics/testing surface: normal operation
+        negotiates lazily inside the first :meth:`collect_blocks` on
+        each connection.
+        """
+
+        def perform(conn: _WireConn, sent: List[bool]) -> str:
+            if conn.codec is None:
+                if self.codec == CODEC_JSON:
+                    conn.codec = CODEC_JSON
+                else:
+                    self._negotiate(conn, sent)
+            return conn.codec
+
+        return self._exchange(OP_HELLO, perform)
 
     def query(
         self,
@@ -288,23 +405,109 @@ class RemoteAgentHandle:
         response = self._call(request)
         records = response.get("records")
         if not isinstance(records, list):
-            raise ProtocolError("query response missing records")
+            raise ProtocolError("query response missing records", op=OP_QUERY)
         return [StatRecord.from_dict(r) for r in records]
+
+    def collect_blocks(
+        self, acked: Optional[Mapping[str, int]] = None
+    ) -> Tuple[List[SeriesBlock], Dict[str, int]]:
+        """One BATCH_DELTA exchange as columnar blocks + new ack cursor.
+
+        The packed hot path: on a ``bin1`` connection the response's
+        value rows decode straight into block tuples that
+        :meth:`TimeSeriesStore.apply_blocks` lands in a mirror's value
+        arrays — no dicts anywhere between the agent's store and the
+        controller's.  On a JSON connection (negotiated fallback) the
+        same shape is materialized from the v0 payload, so callers
+        never see the difference.
+        """
+        acked = dict(acked) if acked else {}
+
+        def perform(
+            conn: _WireConn, sent: List[bool]
+        ) -> Tuple[List[SeriesBlock], Dict[str, int]]:
+            if conn.codec is None:
+                if self.codec == CODEC_JSON:
+                    conn.codec = CODEC_JSON
+                else:
+                    self._negotiate(conn, sent)
+                    sent[0] = False  # the delta request itself not yet sent
+            # Captured here — inside the wire.call span — so the agent's
+            # serve span parents on this exchange, not on our caller.
+            trace = obs.current_trace()
+            trace_wire = trace.to_wire() if trace is not None else None
+            if conn.codec == CODEC_BIN1:
+                raw = wire_codec.encode_batch_request(
+                    conn.schema, acked, trace_wire
+                )
+                send_frame(conn.sock, raw, op=OP_BATCH_DELTA)
+                sent[0] = True
+                reply = recv_frame(conn.sock)
+                if is_binary_frame(reply):
+                    payload = wire_codec.decode_batch_response(conn.schema, reply)
+                    return payload.blocks, payload.cursor
+                # The server answers protocol violations (and refusals)
+                # in JSON even on a binary connection.
+                response = parse_json_frame(reply, op=OP_BATCH_DELTA)
+                raise RuntimeError(
+                    f"agent {self.name} refused {OP_BATCH_DELTA!r}: "
+                    f"{response.get('error', 'unknown error')}"
+                )
+            request = make_batch_delta_request(acked)
+            if trace_wire is not None:
+                request["trace"] = trace_wire
+            send_message(conn.sock, request)
+            sent[0] = True
+            response = recv_message(conn.sock)
+            if not response.get("ok"):
+                raise RuntimeError(
+                    f"agent {self.name} refused {OP_BATCH_DELTA!r}: "
+                    f"{response.get('error', 'unknown error')}"
+                )
+            return self._blocks_from_json(response)
+
+        return self._exchange(OP_BATCH_DELTA, perform)
+
+    @staticmethod
+    def _blocks_from_json(
+        response: Mapping[str, object]
+    ) -> Tuple[List[SeriesBlock], Dict[str, int]]:
+        """Shape a v0 JSON batch_delta response like a columnar decode."""
+        batch = response.get("batch")
+        cursor = response.get("cursor")
+        if not isinstance(batch, list) or not isinstance(cursor, dict):
+            raise ProtocolError(
+                "batch_delta response missing batch/cursor", op=OP_BATCH_DELTA
+            )
+        blocks: List[SeriesBlock] = []
+        try:
+            for entry in batch:
+                snap = CounterSnapshot.from_dict(entry)
+                names = tuple(snap.attrs)
+                blocks.append(
+                    (
+                        snap.element_id,
+                        snap.machine,
+                        names,
+                        [(snap.seq, snap.timestamp, [snap.attrs[n] for n in names])],
+                    )
+                )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"bad snapshot in batch_delta: {exc}", op=OP_BATCH_DELTA
+            ) from exc
+        return blocks, {str(k): int(v) for k, v in cursor.items()}
 
     def collect_delta(
         self, acked: Optional[Mapping[str, int]] = None
     ) -> Tuple[List[CounterSnapshot], Dict[str, int]]:
-        """One BATCH_DELTA exchange: changed snapshots + new ack cursor."""
-        response = self._call(make_batch_delta_request(acked))
-        batch = response.get("batch")
-        cursor = response.get("cursor")
-        if not isinstance(batch, list) or not isinstance(cursor, dict):
-            raise ProtocolError("batch_delta response missing batch/cursor")
-        try:
-            snaps = [CounterSnapshot.from_dict(entry) for entry in batch]
-        except (TypeError, ValueError) as exc:
-            raise ProtocolError(f"bad snapshot in batch_delta: {exc}") from exc
-        return snaps, {str(k): int(v) for k, v in cursor.items()}
+        """One BATCH_DELTA exchange: changed snapshots + new ack cursor.
+
+        Dict-shaped compatibility view over :meth:`collect_blocks` —
+        callers that want the packed path apply the blocks directly.
+        """
+        blocks, cursor = self.collect_blocks(acked)
+        return blocks_to_snapshots(blocks), cursor
 
     def __enter__(self) -> "RemoteAgentHandle":
         return self

@@ -1,0 +1,559 @@
+"""Packed binary payloads for the BATCH_DELTA hot path (codec ``bin1``).
+
+The JSON wire format spells every element id and attribute name out as
+a string in every snapshot of every frame, and forces both peers
+through dict building on each record.  This codec replaces the payload
+of the one exchange that actually moves volume — the agent sweep →
+``BATCH_DELTA`` encode → controller mirror apply pipeline — with
+fixed-width binary records that encode straight out of the store's
+columnar value arrays (:meth:`~repro.core.store.TimeSeriesStore
+.drain_blocks`) and apply straight back into a mirror's
+(:meth:`~repro.core.store.TimeSeriesStore.apply_blocks`), with zero
+intermediate dicts on either side.
+
+**Id negotiation.**  Strings cross the wire once per connection: the
+``HELLO`` exchange returns the agent's current element/attribute/
+machine id tables, and names first seen later (a new ``drops.<loc>``
+attribute, a hot-plugged element) ride as dictionary-delta entries in
+the frame that first uses them.  Ids are per-connection state — each
+pooled connection negotiates its own tables — so there is no global
+registry to corrupt or leak across agents.
+
+**Frame layout** (all integers little-endian; outer 4-byte length
+framing and the 16 MiB cap live in :mod:`repro.core.net.protocol`)::
+
+    header   := magic u8 (0xB1) | version u8 (1) | kind u8 | flags u8
+
+    request  (kind 1, controller -> agent):
+      trace_len u16 | trace utf8-json           # 0 = no trace context
+      acked_count u32
+        ack := tag u8
+               tag 0: elem_id u32 | seq i64     # id known to both ends
+               tag 1: name_len u16 | name utf8 | seq i64
+
+    response (kind 2, agent -> controller):
+      dict_count u32
+        entry := space u8 (0 elem / 1 attr / 2 machine)
+                 | id u32 | name_len u16 | name utf8
+      machine_id u32
+      cursor_count u32
+        cur := elem_id u32 | seq i64
+      block_count u32
+        block := elem_id u32 | machine_id u32
+                 | attr_count u16 | attr_ids u32[attr_count]
+                 | row_count u32
+                 | rows := (seq i64 | ts f64 | values f64[attr_count])*
+
+Every row is a run of fixed-width (element-id, attr-id, value) triples
+with the ids hoisted to the block header: the element id and the attr
+id column vector apply to all rows of the block, so the per-row bytes
+are pure ``i64 + f64 + f64*n`` and pack/unpack as a single precompiled
+:class:`struct.Struct` per stride.  ABSENT cells travel as NaN (see
+:mod:`repro.core.store`).
+
+Decode errors raise :class:`~repro.core.net.protocol.ProtocolError`
+carrying the op and the byte offset where parsing failed; every count
+field is validated against the bytes actually remaining, so a corrupt
+or bit-flipped frame is rejected in O(1) without speculative
+allocation.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.net.protocol import (
+    BIN_MAGIC,
+    CODEC_BIN1,
+    CODEC_JSON,
+    OP_BATCH_DELTA,
+    OP_HELLO,
+    ProtocolError,
+)
+from repro.core.store import SeriesBlock
+
+#: Binary codec version carried in every frame header.
+BIN_VERSION = 1
+
+#: Frame kinds.
+KIND_BATCH_REQUEST = 1
+KIND_BATCH_RESPONSE = 2
+
+#: Dictionary-entry namespaces.
+SPACE_ELEMENT = 0
+SPACE_ATTR = 1
+SPACE_MACHINE = 2
+
+_HEADER = struct.Struct("<BBBB")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_ID_SEQ = struct.Struct("<Iq")
+_DICT_HEAD = struct.Struct("<BIH")
+_BLOCK_HEAD = struct.Struct("<IIH")
+
+#: Precompiled row codecs keyed by attrs-per-row stride.
+_ROW_STRUCTS: Dict[int, struct.Struct] = {}
+
+
+def _row_struct(stride: int) -> struct.Struct:
+    st = _ROW_STRUCTS.get(stride)
+    if st is None:
+        st = _ROW_STRUCTS[stride] = struct.Struct(f"<qd{stride}d" if stride else "<qd")
+    return st
+
+
+class _Table:
+    """One id namespace: dense ids, bidirectional, append-only."""
+
+    __slots__ = ("names", "ids")
+
+    def __init__(self) -> None:
+        self.names: List[str] = []
+        self.ids: Dict[str, int] = {}
+
+    def assign(self, name: str) -> Tuple[int, bool]:
+        """Return ``(id, is_new)``, assigning the next dense id on miss."""
+        ident = self.ids.get(name)
+        if ident is not None:
+            return ident, False
+        ident = len(self.names)
+        self.names.append(name)
+        self.ids[name] = ident
+        return ident, True
+
+    def learn(self, ident: int, name: str, op: str, offset: int) -> None:
+        """Install a peer-announced ``id -> name`` mapping.
+
+        Ids are assigned densely by the announcing side, so an entry may
+        only extend the table by exactly one or re-state an existing
+        mapping verbatim; anything else is a corrupt or hostile frame.
+        """
+        if ident < len(self.names):
+            if self.names[ident] != name:
+                raise ProtocolError(
+                    f"dictionary entry remaps id {ident} from "
+                    f"{self.names[ident]!r} to {name!r}",
+                    op=op,
+                    offset=offset,
+                )
+            return
+        if ident != len(self.names):
+            raise ProtocolError(
+                f"non-dense dictionary id {ident} (table holds {len(self.names)})",
+                op=op,
+                offset=offset,
+            )
+        self.names.append(name)
+        self.ids[name] = ident
+
+    def name_of(self, ident: int, op: str, offset: int) -> str:
+        try:
+            return self.names[ident]
+        except IndexError:
+            raise ProtocolError(
+                f"unknown id {ident} (table holds {len(self.names)})",
+                op=op,
+                offset=offset,
+            ) from None
+
+    def to_wire(self) -> Dict[str, int]:
+        return dict(self.ids)
+
+    def load_wire(self, raw: Mapping[str, Any]) -> None:
+        entries = sorted(((int(v), str(k)) for k, v in raw.items()))
+        for ident, name in entries:
+            self.learn(ident, name, OP_HELLO, 0)
+
+
+class WireSchema:
+    """The per-connection id tables both peers keep in lockstep."""
+
+    __slots__ = ("elements", "attrs", "machines")
+
+    def __init__(self) -> None:
+        self.elements = _Table()
+        self.attrs = _Table()
+        self.machines = _Table()
+
+    def _space(self, space: int, op: str, offset: int) -> _Table:
+        if space == SPACE_ELEMENT:
+            return self.elements
+        if space == SPACE_ATTR:
+            return self.attrs
+        if space == SPACE_MACHINE:
+            return self.machines
+        raise ProtocolError(
+            f"unknown dictionary namespace {space}", op=op, offset=offset
+        )
+
+    def to_wire(self) -> Dict[str, Dict[str, int]]:
+        return {
+            "elements": self.elements.to_wire(),
+            "attrs": self.attrs.to_wire(),
+            "machines": self.machines.to_wire(),
+        }
+
+    def load_wire(self, raw: Mapping[str, Any]) -> None:
+        for key, table in (
+            ("elements", self.elements),
+            ("attrs", self.attrs),
+            ("machines", self.machines),
+        ):
+            part = raw.get(key, {})
+            if not isinstance(part, Mapping):
+                raise ProtocolError(
+                    f"hello schema {key!r} must be a mapping", op=OP_HELLO
+                )
+            table.load_wire(part)
+
+
+class _Reader:
+    """Bounds-checked cursor over one frame's payload bytes.
+
+    Every primitive read validates the remaining length first, so a
+    truncated or bit-flipped frame fails with the exact byte offset
+    instead of an IndexError deep inside struct.
+    """
+
+    __slots__ = ("raw", "view", "pos", "op")
+
+    def __init__(self, raw: bytes, op: str) -> None:
+        self.raw = raw
+        self.view = memoryview(raw)
+        self.pos = 0
+        self.op = op
+
+    def fail(self, message: str) -> "ProtocolError":
+        return ProtocolError(message, op=self.op, offset=self.pos)
+
+    def need(self, n: int, what: str) -> int:
+        if self.pos + n > len(self.raw):
+            raise self.fail(
+                f"truncated frame: need {n} byte(s) for {what}, "
+                f"{len(self.raw) - self.pos} left"
+            )
+        at = self.pos
+        self.pos += n
+        return at
+
+    def u16(self, what: str) -> int:
+        return _U16.unpack_from(self.view, self.need(2, what))[0]
+
+    def u32(self, what: str) -> int:
+        return _U32.unpack_from(self.view, self.need(4, what))[0]
+
+    def i64(self, what: str) -> int:
+        return _I64.unpack_from(self.view, self.need(8, what))[0]
+
+    def u8(self, what: str) -> int:
+        return self.raw[self.need(1, what)]
+
+    def text(self, what: str) -> str:
+        n = self.u16(f"{what} length")
+        at = self.need(n, what)
+        try:
+            return str(self.view[at: at + n], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                f"bad UTF-8 in {what}: {exc}", op=self.op, offset=at
+            ) from exc
+
+    def bound_count(self, count: int, unit_bytes: int, what: str) -> int:
+        """Reject a count the remaining bytes cannot possibly satisfy."""
+        remaining = len(self.raw) - self.pos
+        if count * unit_bytes > remaining:
+            raise self.fail(
+                f"implausible {what} count {count}: needs >= "
+                f"{count * unit_bytes} byte(s), {remaining} left"
+            )
+        return count
+
+    def done(self) -> None:
+        if self.pos != len(self.raw):
+            raise self.fail(
+                f"{len(self.raw) - self.pos} trailing byte(s) after frame body"
+            )
+
+
+def _check_header(r: _Reader, expected_kind: int) -> None:
+    at = r.need(4, "frame header")
+    magic, version, kind, _flags = _HEADER.unpack_from(r.view, at)
+    if magic != BIN_MAGIC:
+        raise ProtocolError(
+            f"bad binary magic 0x{magic:02x}", op=r.op, offset=at
+        )
+    if version != BIN_VERSION:
+        raise ProtocolError(
+            f"unsupported binary codec version {version}", op=r.op, offset=at + 1
+        )
+    if kind != expected_kind:
+        raise ProtocolError(
+            f"unexpected frame kind {kind} (wanted {expected_kind})",
+            op=r.op,
+            offset=at + 2,
+        )
+
+
+def _put_text(buf: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError(f"string too long for wire: {len(raw)} bytes")
+    buf += _U16.pack(len(raw))
+    buf += raw
+
+
+# -- request (controller -> agent) ---------------------------------------------
+
+
+def encode_batch_request(
+    schema: WireSchema,
+    acked: Mapping[str, int],
+    trace_wire: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Pack the collector's ack vector (and trace context) as ``bin1``.
+
+    Element ids the connection already negotiated ride as fixed-width
+    id/seq pairs; names the client has not yet seen an id for (only
+    possible before the first response on a fresh connection) ride
+    inline once.
+    """
+    buf = bytearray(_HEADER.pack(BIN_MAGIC, BIN_VERSION, KIND_BATCH_REQUEST, 0))
+    if trace_wire:
+        _put_text(buf, json.dumps(trace_wire, separators=(",", ":")))
+    else:
+        buf += _U16.pack(0)
+    buf += _U32.pack(len(acked))
+    ids = schema.elements.ids
+    for name, seq in acked.items():
+        ident = ids.get(name)
+        if ident is not None:
+            buf += b"\x00"
+            buf += _ID_SEQ.pack(ident, seq)
+        else:
+            buf += b"\x01"
+            _put_text(buf, name)
+            buf += _I64.pack(seq)
+    return bytes(buf)
+
+
+def decode_batch_request(
+    schema: WireSchema, raw: bytes
+) -> Tuple[Dict[str, int], Optional[Mapping[str, Any]]]:
+    """Unpack a ``bin1`` BATCH_DELTA request into (acked, trace context).
+
+    Applies the same schema rules as the JSON path's ``parse_acked``:
+    sequence numbers must be non-negative, and ids must have been
+    negotiated on this connection.
+    """
+    r = _Reader(raw, OP_BATCH_DELTA)
+    _check_header(r, KIND_BATCH_REQUEST)
+    trace: Optional[Mapping[str, Any]] = None
+    trace_text = r.text("trace context")
+    if trace_text:
+        try:
+            parsed = json.loads(trace_text)
+        except json.JSONDecodeError:
+            parsed = None  # trace is best-effort telemetry, never fatal
+        if isinstance(parsed, Mapping):
+            trace = parsed
+    count = r.bound_count(r.u32("acked count"), 9, "acked")
+    acked: Dict[str, int] = {}
+    for _ in range(count):
+        tag = r.u8("ack tag")
+        if tag == 0:
+            at = r.need(12, "ack id/seq")
+            ident, seq = _ID_SEQ.unpack_from(r.view, at)
+            name = schema.elements.name_of(ident, r.op, at)
+        elif tag == 1:
+            name = r.text("ack element name")
+            seq = r.i64("ack seq")
+        else:
+            raise r.fail(f"unknown ack tag {tag}")
+        if seq < 0:
+            raise r.fail(f"acked seq for {name!r} must be non-negative, got {seq}")
+        acked[name] = seq
+    r.done()
+    return acked, trace
+
+
+# -- response (agent -> controller) --------------------------------------------
+
+
+def encode_batch_response(
+    schema: WireSchema,
+    machine: str,
+    blocks: Iterable[SeriesBlock],
+    cursor: Mapping[str, int],
+) -> bytes:
+    """Pack a drained delta batch straight from the store's columns.
+
+    ``blocks`` is exactly what :meth:`TimeSeriesStore.drain_blocks`
+    returns — no dicts, no snapshot objects.  Names receiving an id for
+    the first time on this connection are announced in this frame's
+    dictionary section, so the decoder's tables stay in lockstep.
+    """
+    pending: List[Tuple[int, int, str]] = []
+
+    def ident_for(space: int, table: _Table, name: str) -> int:
+        ident, is_new = table.assign(name)
+        if is_new:
+            pending.append((space, ident, name))
+        return ident
+
+    body = bytearray()
+    body += _U32.pack(ident_for(SPACE_MACHINE, schema.machines, machine))
+    body += _U32.pack(len(cursor))
+    for name, seq in cursor.items():
+        body += _ID_SEQ.pack(ident_for(SPACE_ELEMENT, schema.elements, name), seq)
+    block_list = list(blocks)
+    body += _U32.pack(len(block_list))
+    for element_id, block_machine, attr_names, rows in block_list:
+        body += _BLOCK_HEAD.pack(
+            ident_for(SPACE_ELEMENT, schema.elements, element_id),
+            ident_for(SPACE_MACHINE, schema.machines, block_machine),
+            len(attr_names),
+        )
+        attr_ids = [
+            ident_for(SPACE_ATTR, schema.attrs, name) for name in attr_names
+        ]
+        body += struct.pack(f"<{len(attr_ids)}I", *attr_ids)
+        body += _U32.pack(len(rows))
+        pack = _row_struct(len(attr_names)).pack
+        for seq, timestamp, values in rows:
+            body += pack(seq, timestamp, *values)
+
+    buf = bytearray(_HEADER.pack(BIN_MAGIC, BIN_VERSION, KIND_BATCH_RESPONSE, 0))
+    buf += _U32.pack(len(pending))
+    for space, ident, name in pending:
+        raw = name.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise ProtocolError(
+                f"name too long for wire: {len(raw)} bytes", op=OP_BATCH_DELTA
+            )
+        buf += _DICT_HEAD.pack(space, ident, len(raw))
+        buf += raw
+    buf += body
+    return bytes(buf)
+
+
+class BatchPayload:
+    """A decoded BATCH_DELTA response: blocks ready to apply to a mirror."""
+
+    __slots__ = ("machine", "cursor", "blocks")
+
+    def __init__(
+        self,
+        machine: str,
+        cursor: Dict[str, int],
+        blocks: List[SeriesBlock],
+    ) -> None:
+        self.machine = machine
+        self.cursor = cursor
+        self.blocks = blocks
+
+
+def decode_batch_response(schema: WireSchema, raw: bytes) -> BatchPayload:
+    """Unpack a ``bin1`` BATCH_DELTA response, learning new ids as announced."""
+    r = _Reader(raw, OP_BATCH_DELTA)
+    _check_header(r, KIND_BATCH_RESPONSE)
+    dict_count = r.bound_count(r.u32("dictionary count"), 7, "dictionary")
+    for _ in range(dict_count):
+        at = r.need(7, "dictionary entry")
+        space, ident, name_len = _DICT_HEAD.unpack_from(r.view, at)
+        name_at = r.need(name_len, "dictionary name")
+        try:
+            name = str(r.view[name_at: name_at + name_len], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                f"bad UTF-8 in dictionary name: {exc}", op=r.op, offset=name_at
+            ) from exc
+        schema._space(space, r.op, at).learn(ident, name, r.op, at)
+
+    machine = schema.machines.name_of(r.u32("machine id"), r.op, r.pos - 4)
+    cursor_count = r.bound_count(r.u32("cursor count"), 12, "cursor")
+    cursor: Dict[str, int] = {}
+    for _ in range(cursor_count):
+        at = r.need(12, "cursor entry")
+        ident, seq = _ID_SEQ.unpack_from(r.view, at)
+        cursor[schema.elements.name_of(ident, r.op, at)] = seq
+
+    block_count = r.bound_count(r.u32("block count"), 14, "block")
+    blocks: List[SeriesBlock] = []
+    for _ in range(block_count):
+        at = r.need(10, "block header")
+        elem_ident, machine_ident, attr_count = _BLOCK_HEAD.unpack_from(r.view, at)
+        element_id = schema.elements.name_of(elem_ident, r.op, at)
+        block_machine = schema.machines.name_of(machine_ident, r.op, at)
+        ids_at = r.need(4 * attr_count, "block attr ids")
+        attr_ids = struct.unpack_from(f"<{attr_count}I", r.view, ids_at)
+        attr_names = tuple(
+            schema.attrs.name_of(ident, r.op, ids_at) for ident in attr_ids
+        )
+        row_struct = _row_struct(attr_count)
+        row_count = r.bound_count(
+            r.u32("row count"), row_struct.size, f"{element_id} row"
+        )
+        rows_at = r.need(row_struct.size * row_count, "rows")
+        rows: List[Tuple[int, float, Sequence[float]]] = [
+            (rec[0], rec[1], rec[2:])
+            for rec in row_struct.iter_unpack(
+                r.view[rows_at: rows_at + row_struct.size * row_count]
+            )
+        ]
+        blocks.append((element_id, block_machine, attr_names, rows))
+    r.done()
+    return BatchPayload(machine, cursor, blocks)
+
+
+# -- HELLO negotiation ----------------------------------------------------------
+
+
+def choose_codec(offered: Iterable[Any], allow_binary: bool = True) -> str:
+    """The codec the server picks for one connection's lifetime."""
+    offers = {str(c) for c in (offered or ())}
+    if allow_binary and CODEC_BIN1 in offers:
+        return CODEC_BIN1
+    return CODEC_JSON
+
+
+def make_hello_response(
+    agent_name: str,
+    machine: str,
+    element_ids: Sequence[str],
+    attr_names: Sequence[str],
+    codec: str,
+    schema: WireSchema,
+) -> Dict[str, Any]:
+    """Build the HELLO response, seeding the connection's id tables.
+
+    The agent assigns dense ids for everything it currently knows —
+    elements, the standard attribute set, its machine name — so the
+    very first binary frame usually needs no dictionary deltas at all.
+    """
+    for eid in element_ids:
+        schema.elements.assign(eid)
+    for attr in attr_names:
+        schema.attrs.assign(attr)
+    schema.machines.assign(machine)
+    return {
+        "ok": True,
+        "agent": agent_name,
+        "codec": codec,
+        "schema": schema.to_wire() if codec != CODEC_JSON else {},
+    }
+
+
+def apply_hello_response(response: Mapping[str, Any], schema: WireSchema) -> str:
+    """Prime the client's tables from a HELLO response; returns the codec."""
+    codec = str(response.get("codec", CODEC_JSON))
+    if codec not in (CODEC_BIN1, CODEC_JSON):
+        raise ProtocolError(f"peer negotiated unknown codec {codec!r}", op=OP_HELLO)
+    if codec != CODEC_JSON:
+        raw_schema = response.get("schema", {})
+        if not isinstance(raw_schema, Mapping):
+            raise ProtocolError("hello schema must be a mapping", op=OP_HELLO)
+        schema.load_wire(raw_schema)
+    return codec

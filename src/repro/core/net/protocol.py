@@ -1,9 +1,32 @@
-"""Length-prefixed JSON framing for the agent-controller channel.
+"""Framing and op inventory for the agent-controller channel.
 
-Frame layout: 4-byte big-endian payload length, then UTF-8 JSON.  The
-payload is a dict; requests carry an ``op`` (see the ``OP_*`` constants),
-responses carry ``ok`` plus either results or ``error``.  A maximum
-frame size guards both sides against a corrupt or hostile peer.
+Frame layout: 4-byte big-endian payload length, then the payload.  Two
+payload encodings share the framing:
+
+* **JSON** (the v0 wire format, and the negotiated fallback): a UTF-8
+  JSON object.  Requests carry an ``op`` (see the ``OP_*`` constants),
+  responses carry ``ok`` plus either results or ``error``.
+* **Packed binary** (:mod:`repro.core.net.codec`): the hot-path
+  ``BATCH_DELTA`` exchange as fixed-width element-id/attr-id/value
+  records.  Binary payloads start with :data:`BIN_MAGIC` (``0xB1``),
+  which can never open a JSON object (``{`` is ``0x7B``), so either
+  side classifies every received frame with one byte test
+  (:func:`is_binary_frame`).
+
+Codec choice is negotiated once per connection by the ``HELLO`` op
+(:data:`OP_HELLO`): the client offers its codecs, the agent picks one
+and returns its element/attribute id tables.  A peer that has never
+heard of HELLO refuses the op, which the client treats as "JSON-only
+old peer" — every op keeps working, just un-packed.  Control ops (PING,
+the listings, QUERY, HELLO itself) always speak JSON; only BATCH_DELTA
+payloads go binary.
+
+A maximum frame size guards both sides against a corrupt or hostile
+peer: the length header is validated **before** any payload read, so a
+flipped bit in the header can cost at most :data:`MAX_FRAME_BYTES` of
+buffering, never an unbounded read.  Malformed frames surface as
+:class:`ProtocolError` carrying the offending op and byte offset when
+known.
 
 The workhorse op is ``BATCH_DELTA``: the controller sends its
 per-element acknowledged sequence numbers and the agent replies with one
@@ -18,6 +41,7 @@ holding the caller's serialized trace context
 the agent-side handler span link into one trace across the wire.  The
 field is pure telemetry: absent, malformed or garbled contexts never
 affect request handling (:func:`extract_trace` degrades to None).
+Binary request frames carry the same context in their trace slot.
 """
 
 from __future__ import annotations
@@ -32,21 +56,38 @@ from repro.obs.spans import TraceContext
 #: Refuse frames above 16 MiB — a full-machine stat sweep is ~100 KiB.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
+#: First byte of every packed-binary payload.  JSON payloads start with
+#: ``{`` (0x7B), so this single byte discriminates the two encodings.
+BIN_MAGIC = 0xB1
+
 #: Request op names understood by the agent server.
 OP_PING = "ping"
 OP_LIST_ELEMENTS = "list_elements"
 OP_STACK_ELEMENTS = "stack_elements"
 OP_QUERY = "query"
 OP_BATCH_DELTA = "batch_delta"
+OP_HELLO = "hello"
 
-#: Ops a client may retry blindly after a transport failure.  PING and
-#: the listings are pure reads; BATCH_DELTA carries the collector's ack
-#: vector, so replaying it at worst re-sends snapshots the mirror
-#: dedupes.  QUERY is excluded: it perturbs the agent's per-query
-#: overhead accounting (the Figure 16 surface), so a client must not
-#: replay one it cannot prove went unprocessed.
+#: Codec names, in client preference order.  ``bin1`` is the packed
+#: binary BATCH_DELTA payload (version 1); ``json`` is the v0 format
+#: every peer speaks.
+CODEC_BIN1 = "bin1"
+CODEC_JSON = "json"
+SUPPORTED_CODECS = (CODEC_BIN1, CODEC_JSON)
+
+#: Environment knob honoured by both client and server: any non-empty
+#: value pins every connection to the JSON fallback — the debugging
+#: escape hatch for reading frames off the wire by eye.
+FORCE_JSON_ENV = "PERFSIGHT_WIRE_FORCE_JSON"
+
+#: Ops a client may retry blindly after a transport failure.  PING, the
+#: listings and HELLO are pure reads; BATCH_DELTA carries the
+#: collector's ack vector, so replaying it at worst re-sends snapshots
+#: the mirror dedupes.  QUERY is excluded: it perturbs the agent's
+#: per-query overhead accounting (the Figure 16 surface), so a client
+#: must not replay one it cannot prove went unprocessed.
 IDEMPOTENT_OPS = frozenset(
-    {OP_PING, OP_LIST_ELEMENTS, OP_STACK_ELEMENTS, OP_BATCH_DELTA}
+    {OP_PING, OP_LIST_ELEMENTS, OP_STACK_ELEMENTS, OP_BATCH_DELTA, OP_HELLO}
 )
 
 #: Optional request field carrying the caller's trace context.
@@ -73,6 +114,11 @@ def extract_trace(payload: Mapping[str, Any]) -> Optional[TraceContext]:
     return TraceContext.from_wire(payload.get(TRACE_FIELD))
 
 
+def make_hello_request(codecs=SUPPORTED_CODECS) -> Dict[str, Any]:
+    """Offer the peer our codecs; the response fixes this connection's."""
+    return {"op": OP_HELLO, "codecs": list(codecs)}
+
+
 def make_batch_delta_request(acked: Optional[Mapping[str, int]]) -> Dict[str, Any]:
     """Request every snapshot newer than the collector's ack vector."""
     return {
@@ -81,60 +127,122 @@ def make_batch_delta_request(acked: Optional[Mapping[str, int]]) -> Dict[str, An
     }
 
 
-def parse_acked(payload: Mapping[str, Any]) -> Dict[str, int]:
+def parse_acked(payload: Mapping[str, Any], op: str = OP_BATCH_DELTA) -> Dict[str, int]:
     """Validate the ``acked`` field of a BATCH_DELTA request.
 
     Sequence numbers must be actual non-negative integers: booleans
     (which Python would silently treat as 0/1), negatives, floats and
     strings are all schema violations from a confused or hostile peer.
+    The raised :class:`ProtocolError` names the offending op so the
+    client-side log pinpoints which exchange carried the bad vector.
     """
     raw = payload.get("acked") or {}
     if not isinstance(raw, Mapping):
-        raise ProtocolError(f"acked must be a mapping, got {type(raw).__name__}")
+        raise ProtocolError(
+            f"acked must be a mapping, got {type(raw).__name__}", op=op
+        )
     out: Dict[str, int] = {}
     for key, value in raw.items():
         if isinstance(value, bool) or not isinstance(value, int):
             raise ProtocolError(
-                f"acked seq for {key!r} must be an integer, got {value!r}"
+                f"acked seq for {key!r} must be an integer, got {value!r}", op=op
             )
         if value < 0:
             raise ProtocolError(
-                f"acked seq for {key!r} must be non-negative, got {value!r}"
+                f"acked seq for {key!r} must be non-negative, got {value!r}", op=op
             )
         out[str(key)] = value
     return out
 
 
 class ProtocolError(Exception):
-    """Framing or schema violation on the agent-controller channel."""
+    """Framing or schema violation on the agent-controller channel.
+
+    ``op`` names the operation whose frame was malformed and ``offset``
+    the byte position inside the payload where decoding failed, when
+    known — so "bare ProtocolError" log lines became actionable: which
+    exchange, and where in the frame.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        op: Optional[str] = None,
+        offset: Optional[int] = None,
+    ) -> None:
+        context = []
+        if op is not None:
+            context.append(f"op={op}")
+        if offset is not None:
+            context.append(f"byte offset {offset}")
+        super().__init__(
+            f"{message} ({', '.join(context)})" if context else message
+        )
+        self.op = op
+        self.offset = offset
 
 
-def send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
-    """Serialize and send one frame."""
-    try:
-        raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    except (TypeError, ValueError) as exc:
-        raise ProtocolError(f"unserializable payload: {exc}") from exc
+def is_binary_frame(raw: bytes) -> bool:
+    """True when a received payload is packed binary (vs JSON)."""
+    return bool(raw) and raw[0] == BIN_MAGIC
+
+
+def send_frame(sock: socket.socket, raw: bytes, op: Optional[str] = None) -> None:
+    """Send one length-prefixed frame of pre-encoded payload bytes."""
     if len(raw) > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame too large: {len(raw)} bytes")
+        raise ProtocolError(f"frame too large: {len(raw)} bytes", op=op)
     sock.sendall(_HEADER.pack(len(raw)) + raw)
 
 
-def recv_message(sock: socket.socket) -> Dict[str, Any]:
-    """Receive one frame; raises ProtocolError on malformed input and
-    ConnectionError on a cleanly closed peer."""
+def recv_frame(sock: socket.socket) -> bytes:
+    """Receive one frame's payload bytes; the caller classifies them.
+
+    The length header is validated against :data:`MAX_FRAME_BYTES`
+    before any payload byte is read, so a corrupt header cannot trigger
+    an unbounded read.  Raises ConnectionError on a cleanly closed peer.
+    """
     header = _recv_exact(sock, _HEADER.size)
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise ProtocolError(f"peer announced oversized frame: {length} bytes")
-    raw = _recv_exact(sock, length)
+    return _recv_exact(sock, length)
+
+
+def parse_json_frame(raw: bytes, op: Optional[str] = None) -> Dict[str, Any]:
+    """Decode one JSON payload; raises ProtocolError on malformed input."""
+    if is_binary_frame(raw):
+        raise ProtocolError(
+            "binary frame where JSON was expected (codec not negotiated?)", op=op
+        )
     try:
         payload = json.loads(raw.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ProtocolError(f"bad JSON frame: {exc}") from exc
+        offset = getattr(exc, "pos", None)
+        if offset is None:
+            offset = getattr(exc, "start", None)
+        raise ProtocolError(f"bad JSON frame: {exc}", op=op, offset=offset) from exc
     if not isinstance(payload, dict):
-        raise ProtocolError(f"frame is not an object: {type(payload).__name__}")
+        raise ProtocolError(
+            f"frame is not an object: {type(payload).__name__}", op=op
+        )
     return payload
+
+
+def send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Serialize and send one JSON frame."""
+    op = payload.get("op") if isinstance(payload.get("op"), str) else None
+    try:
+        raw = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unserializable payload: {exc}", op=op) from exc
+    send_frame(sock, raw, op=op)
+
+
+def recv_message(sock: socket.socket) -> Dict[str, Any]:
+    """Receive one JSON frame; raises ProtocolError on malformed input and
+    ConnectionError on a cleanly closed peer."""
+    return parse_json_frame(recv_frame(sock))
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:

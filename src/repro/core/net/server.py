@@ -9,10 +9,21 @@ pair — takes the write side.  Under the old single global lock a slow
 sweep stalled every ping and query queued behind it; now read-only
 traffic keeps flowing while the store's internal lock keeps its
 appends safe.
+
+Each connection carries its own wire codec state: a HELLO exchange
+negotiates packed-binary BATCH_DELTA payloads
+(:mod:`repro.core.net.codec`) and seeds the connection's id tables; a
+client that never says HELLO gets plain JSON for everything, exactly as
+before the binary path existed.  The reader/writer locking, tracing and
+metrics are identical on both paths — only the payload encoding (and
+the dict-free drain it enables) differs.  ``PERFSIGHT_WIRE_FORCE_JSON=1``
+in the server's environment refuses binary at negotiation time, the
+debugging escape hatch for reading frames off the wire by eye.
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import socketserver
 import threading
@@ -22,16 +33,24 @@ from typing import Optional, Tuple
 from repro import obs
 from repro.core.agent import Agent
 from repro.core.concurrency import RWLock
+from repro.core.counters import STANDARD_ATTRS
+from repro.core.net import codec as wire_codec
+from repro.core.net.codec import CODEC_BIN1, CODEC_JSON, WireSchema
 from repro.core.net.protocol import (
     OP_BATCH_DELTA,
+    OP_HELLO,
     OP_LIST_ELEMENTS,
     OP_PING,
     OP_QUERY,
     OP_STACK_ELEMENTS,
+    FORCE_JSON_ENV,
     ProtocolError,
     TRACE_FIELD,
+    is_binary_frame,
     parse_acked,
-    recv_message,
+    parse_json_frame,
+    recv_frame,
+    send_frame,
     send_message,
 )
 
@@ -41,33 +60,76 @@ SERVER_LATENCY_METRIC = "perfsight_server_request_latency_seconds"
 
 
 class _AgentRequestHandler(socketserver.BaseRequestHandler):
-    """Serves query/list requests on one connection until it closes."""
+    """Serves query/list requests on one connection until it closes.
+
+    Holds this connection's codec state: the id tables seeded at HELLO
+    and extended by dictionary deltas, plus the negotiated codec name.
+    """
+
+    def setup(self) -> None:
+        super().setup()
+        self.schema = WireSchema()
+        self.codec = CODEC_JSON  # until HELLO negotiates otherwise
 
     def handle(self) -> None:
         agent: Agent = self.server.agent  # type: ignore[attr-defined]
         lock: RWLock = self.server.agent_lock  # type: ignore[attr-defined]
         while True:
             try:
-                request = recv_message(self.request)
+                raw = recv_frame(self.request)
             except (ConnectionError, OSError):
                 return
             except ProtocolError as exc:
                 self._respond({"ok": False, "error": str(exc)})
                 return
-            op = str(request.get("op"))
+            binary = is_binary_frame(raw)
+            request: dict = {}
+            raw_response: Optional[bytes] = None
+            if binary:
+                # The only op with a binary request is BATCH_DELTA; the
+                # trace context rides in the frame's trace slot, so the
+                # request is decoded before the span opens.
+                op = OP_BATCH_DELTA
+                try:
+                    acked, trace_raw = wire_codec.decode_batch_request(
+                        self.schema, raw
+                    )
+                except ProtocolError as exc:
+                    # Malformed binary frames surface to the client as a
+                    # JSON error response, identically on both codecs.
+                    if not self._respond({"ok": False, "error": str(exc)}):
+                        return
+                    continue
+            else:
+                try:
+                    request = parse_json_frame(raw)
+                except ProtocolError as exc:
+                    self._respond({"ok": False, "error": str(exc)})
+                    return
+                op = str(request.get("op"))
+                trace_raw = request.get(TRACE_FIELD)
             # The handler span parents on the caller's wire trace
             # context, so a controller-side query span and this span
             # share a trace id across the process boundary.
             wall0 = time.perf_counter()
             with obs.span_from_wire(
-                "wire.serve", request.get(TRACE_FIELD), op=op, agent=agent.name
+                "wire.serve", trace_raw, op=op, agent=agent.name
             ) as sp:
                 try:
-                    response = self._dispatch(agent, lock, request)
-                except Exception as exc:  # surfaced to the client, not the server
+                    if binary:
+                        blocks, cursor = _drain(agent, lock, acked)
+                        raw_response = wire_codec.encode_batch_response(
+                            self.schema, agent.machine.name, blocks, cursor
+                        )
+                        response = {"ok": True}
+                    else:
+                        response = self._dispatch(agent, lock, request)
+                except Exception as exc:  # surfaced to client, not server
                     response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                    raw_response = None
                     sp.set("error", f"{type(exc).__name__}: {exc}")
                 sp.set("ok", bool(response.get("ok")))
+                sp.set("codec", CODEC_BIN1 if binary else self.codec)
             if obs.enabled():
                 obs.observe(
                     SERVER_LATENCY_METRIC, time.perf_counter() - wall0, op=op
@@ -76,22 +138,49 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
                     SERVER_REQUESTS_METRIC, op=op,
                     ok="true" if response.get("ok") else "false",
                 )
-            if not self._respond(response):
+            sent = (
+                self._respond_raw(raw_response, op)
+                if raw_response is not None
+                else self._respond(response)
+            )
+            if not sent:
                 return
 
     def _respond(self, response: dict) -> bool:
-        """Send one response frame; False when the peer is gone."""
+        """Send one JSON response frame; False when the peer is gone."""
         try:
             send_message(self.request, response)
             return True
         except (ConnectionError, OSError):
             return False
 
-    @staticmethod
-    def _dispatch(agent: Agent, lock: RWLock, request: dict) -> dict:
+    def _respond_raw(self, raw: bytes, op: str) -> bool:
+        """Send one pre-encoded binary frame; False when the peer is gone."""
+        try:
+            send_frame(self.request, raw, op=op)
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+    def _dispatch(self, agent: Agent, lock: RWLock, request: dict) -> dict:
         op = request.get("op")
         if op == OP_PING:
             return {"ok": True, "agent": agent.name}
+        if op == OP_HELLO:
+            allow_binary = not self.server.force_json  # type: ignore[attr-defined]
+            self.codec = wire_codec.choose_codec(
+                request.get("codecs"), allow_binary=allow_binary
+            )
+            with lock.read_locked():
+                element_ids = agent.element_ids()
+            return wire_codec.make_hello_response(
+                agent.name,
+                agent.machine.name,
+                element_ids,
+                STANDARD_ATTRS,
+                self.codec,
+                self.schema,
+            )
         if op == OP_LIST_ELEMENTS:
             with lock.read_locked():
                 return {"ok": True, "elements": agent.element_ids()}
@@ -107,17 +196,7 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
             return {"ok": True, "records": [r.to_dict() for r in records]}
         if op == OP_BATCH_DELTA:
             acked = parse_acked(request)
-            # The pull-through sweep runs on the READ side: the store's
-            # internal lock makes its appends safe under concurrent
-            # readers and the agent's own sweep mutex serializes sweeps,
-            # so a slow sweep never stalls read-only ops.  Only the
-            # drain — the atomic changed-snapshots + cursor pair — takes
-            # the write side.
-            with lock.read_locked():
-                if not agent.polling:
-                    agent.poll_once()
-            with lock.write_locked():
-                batch, cursor = agent.store.drain(acked)
+            batch, cursor = _drain_snapshots(agent, lock, acked)
             return {
                 "ok": True,
                 "machine": agent.machine.name,
@@ -125,6 +204,31 @@ class _AgentRequestHandler(socketserver.BaseRequestHandler):
                 "cursor": cursor,
             }
         return {"ok": False, "error": f"unknown op: {op!r}"}
+
+
+def _drain(agent: Agent, lock: RWLock, acked: dict):
+    """Pull-through sweep + atomic columnar drain under the RW discipline.
+
+    The sweep runs on the READ side: the store's internal lock makes its
+    appends safe under concurrent readers and the agent's own sweep
+    mutex serializes sweeps, so a slow sweep never stalls read-only ops.
+    Only the drain — the atomic changed-blocks + cursor pair — takes the
+    write side.
+    """
+    with lock.read_locked():
+        if not agent.polling:
+            agent.poll_once()
+    with lock.write_locked():
+        return agent.store.drain_blocks(acked)
+
+
+def _drain_snapshots(agent: Agent, lock: RWLock, acked: dict):
+    """The JSON path's drain: same locking, dict-shaped snapshots."""
+    with lock.read_locked():
+        if not agent.polling:
+            agent.poll_once()
+    with lock.write_locked():
+        return agent.store.drain(acked)
 
 
 class _AgentTCPServer(socketserver.ThreadingTCPServer):
@@ -178,15 +282,33 @@ class _AgentTCPServer(socketserver.ThreadingTCPServer):
 
 
 class AgentServer:
-    """Runs an agent behind a localhost TCP endpoint in a daemon thread."""
+    """Runs an agent behind a localhost TCP endpoint in a daemon thread.
 
-    def __init__(self, agent: Agent, host: str = "127.0.0.1", port: int = 0) -> None:
+    ``codec`` selects what HELLO may negotiate: ``"auto"`` (default)
+    offers the packed binary path, ``"json"`` pins every connection to
+    the JSON fallback — useful for debugging and for exercising the
+    mixed-version debugging path.  :data:`FORCE_JSON_ENV` in the
+    environment has the same effect without touching code.
+    """
+
+    def __init__(
+        self,
+        agent: Agent,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: str = "auto",
+    ) -> None:
+        if codec not in ("auto", CODEC_JSON):
+            raise ValueError(f"codec must be 'auto' or 'json': {codec!r}")
         self.agent = agent
         self._server = _AgentTCPServer(
             (host, port), _AgentRequestHandler, bind_and_activate=True
         )
         self._server.agent = agent  # type: ignore[attr-defined]
         self._server.agent_lock = RWLock()  # type: ignore[attr-defined]
+        self._server.force_json = (  # type: ignore[attr-defined]
+            codec == CODEC_JSON or bool(os.environ.get(FORCE_JSON_ENV))
+        )
         self._thread: Optional[threading.Thread] = None
 
     @property

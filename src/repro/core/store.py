@@ -9,6 +9,21 @@ one mirror :class:`TimeSeriesStore` per agent and answers every
 Figure-6 utility routine as an O(1)-per-lookup window query against the
 mirror — no per-query RPC, no re-reading of overlapping intervals.
 
+Storage is **columnar**: each element's series is a fixed-capacity ring
+of flat ``array`` buffers — one ``array('q')`` of sequence numbers, one
+``array('d')`` of timestamps, and one stride-``n_attrs`` ``array('d')``
+of attribute values — rather than a deque of per-snapshot dicts.  A
+delta batch therefore encodes for the wire straight out of the value
+arrays (:meth:`TimeSeriesStore.drain_blocks`) and a mirror applies a
+received batch straight back into them (:meth:`TimeSeriesStore
+.apply_blocks` → :meth:`append_row`) with zero intermediate dict
+objects; dict-shaped :class:`CounterSnapshot` views are materialized
+lazily only at the query/diagnosis boundary, so Algorithm-1/2 verdicts
+and Figure-6 lookups are byte-for-byte what the dict-backed store
+produced.  Cells for counters an element does not export hold
+:data:`~repro.core.counters.ABSENT` (NaN) and vanish on
+materialization.
+
 Snapshots are delta-compressed on ingest: an element whose sequence
 number did not advance (nothing observable changed) is not stored
 again, so idle elements cost nothing beyond their first sample.
@@ -27,19 +42,19 @@ The store is thread-safe: an internal lock covers every ingest and
 lookup, so an agent's cadence sweep can append while server handler
 threads answer window queries (and, controller-side, while the fleet
 refresh pool syncs one mirror as diagnosis threads read another)
-without torn reads or ``deque mutated during iteration`` surprises.
-The critical sections are tiny — a dict probe and a ring scan — so the
-lock does not serialize anything that matters; the wire-level
-reader/writer discipline lives in :mod:`repro.core.net.server`.
+without torn reads.  The critical sections are tiny — a dict probe and
+a ring scan — so the lock does not serialize anything that matters; the
+wire-level reader/writer discipline lives in
+:mod:`repro.core.net.server`.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import deque
-from typing import Deque, Dict, Iterable, List, Mapping, Tuple
+from array import array
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.counters import CounterSnapshot, CounterWindow
+from repro.core.counters import ABSENT, CounterSnapshot, CounterWindow
 
 #: Ring capacity per element.  At a 10 Hz cadence this retains ~25 s of
 #: history per element, far beyond any diagnosis window in the paper.
@@ -58,13 +73,231 @@ RESET_SENTINEL_ATTRS = (
     "out_time",
 )
 
+#: One element's slice of a delta batch, shaped for the wire codec:
+#: ``(element_id, machine, attr_names, rows)`` where every row is
+#: ``(seq, timestamp, values)`` with ``values`` position-aligned to
+#: ``attr_names`` (ABSENT/NaN cells included, fixed stride).
+SeriesBlock = Tuple[str, str, Tuple[str, ...], List[Tuple[int, float, Sequence[float]]]]
+
 
 class StoreError(KeyError):
     """Raised for lookups against data the store does not (yet) hold."""
 
 
+class _ElementSeries:
+    """Fixed-capacity columnar ring of one element's snapshots.
+
+    Logical row ``i`` (0 = oldest) lives at physical slot
+    ``(start + i) % capacity``; the value matrix is row-major with
+    stride ``len(attr_names)``.  Growing the attribute schema (a new
+    ``drops.<location>`` appearing mid-flight) rebuilds the value array
+    with the wider stride and back-fills old rows with ABSENT — rare,
+    and invisible to readers because materialization strips ABSENT.
+    """
+
+    __slots__ = (
+        "element_id",
+        "machine",
+        "capacity",
+        "attr_names",
+        "attr_index",
+        "seqs",
+        "stamps",
+        "values",
+        "start",
+        "count",
+        "_sentinel_cols",
+        "_memo_names",
+        "_memo_cols",
+        "_memo_sentinels",
+        "_absent_row",
+        "_snap_cache",
+        "version",
+        "_win_memo",
+    )
+
+    def __init__(self, element_id: str, machine: str, capacity: int) -> None:
+        self.element_id = element_id
+        self.machine = machine
+        self.capacity = capacity
+        self.attr_names: Tuple[str, ...] = ()
+        self.attr_index: Dict[str, int] = {}
+        self.seqs = array("q", bytes(8 * capacity))
+        self.stamps = array("d", bytes(8 * capacity))
+        self.values = array("d")
+        self.start = 0
+        self.count = 0
+        self._sentinel_cols: Tuple[Tuple[str, int], ...] = ()
+        self._memo_names: Optional[Tuple[str, ...]] = None
+        self._memo_cols: List[int] = []
+        self._memo_sentinels: List[Tuple[int, int]] = []
+        self._absent_row = array("d")
+        # Rows are write-once until their slot is recycled, so the
+        # dict-shaped view of each slot is memoized: the Figure-6
+        # lookups (window_ending_now et al.) materialize each row once
+        # per residency instead of once per query.
+        self._snap_cache: List[Optional[CounterSnapshot]] = [None] * capacity
+        # Bumped on every mutation; lets read-side memos (trailing
+        # windows) validate in O(1) instead of re-deriving per query.
+        self.version = 0
+        self._win_memo: Dict[float, Tuple[int, "CounterWindow"]] = {}
+
+    # -- geometry ---------------------------------------------------------------
+
+    def _slot(self, i: int) -> int:
+        return (self.start + i) % self.capacity
+
+    def _widen(self, new_names: Sequence[str]) -> None:
+        """Add columns for never-seen attrs; back-fill old rows with ABSENT."""
+        old_stride = len(self.attr_names)
+        self.attr_names = self.attr_names + tuple(new_names)
+        for name in new_names:
+            self.attr_index[name] = len(self.attr_index)
+        stride = len(self.attr_names)
+        widened = array("d", [ABSENT]) * (self.capacity * stride)
+        for slot in range(self.capacity):
+            widened[slot * stride: slot * stride + old_stride] = self.values[
+                slot * old_stride: (slot + 1) * old_stride
+            ]
+        self.values = widened
+        self._sentinel_cols = tuple(
+            (name, self.attr_index[name])
+            for name in RESET_SENTINEL_ATTRS
+            if name in self.attr_index
+        )
+        self._memo_names = None
+        self._absent_row = array("d", [ABSENT]) * stride
+
+    def _columns_for(self, names: Sequence[str]) -> List[int]:
+        """Column index per incoming attr name, widening on new names.
+
+        The wire-apply path hands in the *same* names tuple for every
+        row of a block, so a one-entry memo makes the per-row mapping a
+        single identity check.
+        """
+        if names is self._memo_names:
+            return self._memo_cols
+        missing = [n for n in names if n not in self.attr_index]
+        if missing:
+            self._widen(missing)
+        cols = [self.attr_index[n] for n in names]
+        if isinstance(names, tuple):
+            self._memo_names = names
+            self._memo_cols = cols
+            self._memo_sentinels = self._sentinel_pairs(names)
+        return cols
+
+    def _sentinel_pairs(self, names: Sequence[str]) -> List[Tuple[int, int]]:
+        """(incoming index, stored column) for each sentinel in ``names``."""
+        sentinel = dict(self._sentinel_cols)
+        return [
+            (i, sentinel[name])
+            for i, name in enumerate(names)
+            if name in sentinel
+        ]
+
+    # -- ingest -----------------------------------------------------------------
+
+    def push_row(
+        self,
+        machine: str,
+        seq: int,
+        timestamp: float,
+        names: Sequence[str],
+        row_values: Sequence[float],
+    ) -> None:
+        self.machine = machine
+        cols = self._columns_for(names)
+        stride = len(self.attr_names)
+        if self.count == self.capacity:
+            slot = self.start
+            self.start = (self.start + 1) % self.capacity
+        else:
+            slot = self._slot(self.count)
+            self.count += 1
+        self.seqs[slot] = seq
+        self.stamps[slot] = timestamp
+        self._snap_cache[slot] = None
+        self.version += 1
+        base = slot * stride
+        if stride:
+            self.values[base: base + stride] = self._absent_row
+            values = self.values
+            for col, value in zip(cols, row_values):
+                values[base + col] = value
+
+    def clear(self) -> None:
+        self.start = 0
+        self.count = 0
+        self._snap_cache = [None] * self.capacity
+        self.version += 1
+
+    # -- reads ------------------------------------------------------------------
+
+    def seq_at(self, i: int) -> int:
+        return self.seqs[self._slot(i)]
+
+    def stamp_at(self, i: int) -> float:
+        return self.stamps[self._slot(i)]
+
+    def value_at(self, i: int, col: int) -> float:
+        return self.values[self._slot(i) * len(self.attr_names) + col]
+
+    def row_values(self, i: int) -> array:
+        stride = len(self.attr_names)
+        base = self._slot(i) * stride
+        return self.values[base: base + stride]
+
+    def materialize(self, i: int) -> CounterSnapshot:
+        slot = self._slot(i)
+        snap = self._snap_cache[slot]
+        if snap is None:
+            snap = self._snap_cache[slot] = CounterSnapshot.from_columns(
+                self.element_id,
+                self.machine,
+                self.seqs[slot],
+                self.stamps[slot],
+                self.attr_names,
+                self.row_values(i),
+            )
+        return snap
+
+    def is_reset_against_latest(
+        self, seq: int, names: Sequence[str], row_values: Sequence[float]
+    ) -> bool:
+        """Did the producer restart between the latest row and this one?
+
+        Two signatures: the sequence number went backwards (the producer
+        re-numbered from scratch), or a monotonic counter shrank while
+        the sequence advanced (the counter state was zeroed under a
+        surviving producer).  ABSENT cells never vote: a counter the
+        element stopped exporting is not a regression.
+        """
+        last_slot = (self.start + self.count - 1) % self.capacity
+        if seq < self.seqs[last_slot]:
+            return True
+        if not self._sentinel_cols:
+            return False
+        # (incoming index, stored column) pairs — memoized per names
+        # tuple, so the wire-apply path pays the mapping once per block
+        if names is self._memo_names:
+            pairs = self._memo_sentinels
+        else:
+            pairs = self._sentinel_pairs(names)
+        base = last_slot * len(self.attr_names)
+        values = self.values
+        for i, col in pairs:
+            new = row_values[i]
+            if new != new:  # ABSENT/NaN never votes
+                continue
+            old = values[base + col]
+            if old == old and new < old - 1e-9:
+                return True
+        return False
+
+
 class TimeSeriesStore:
-    """Bounded, per-element ring buffers of versioned counter snapshots.
+    """Bounded, columnar per-element ring buffers of counter snapshots.
 
     ``on_regression`` selects what a non-monotonic ingest does:
     ``"rebaseline"`` (default) restarts the element's series from the
@@ -87,7 +320,7 @@ class TimeSeriesStore:
             )
         self.capacity_per_element = capacity_per_element
         self.on_regression = on_regression
-        self._series: Dict[str, Deque[CounterSnapshot]] = {}
+        self._series: Dict[str, _ElementSeries] = {}
         # Reentrant because the public lookups compose (window ->
         # at_or_before) without releasing between steps.
         self._lock = threading.RLock()
@@ -98,8 +331,22 @@ class TimeSeriesStore:
 
     # -- ingest -----------------------------------------------------------------
 
-    def append(self, snap: CounterSnapshot) -> bool:
-        """Add a snapshot; returns False when delta-compressed away.
+    def append_row(
+        self,
+        element_id: str,
+        machine: str,
+        seq: int,
+        timestamp: float,
+        names: Sequence[str],
+        values: Sequence[float],
+    ) -> bool:
+        """Ingest one columnar row; returns False when delta-compressed.
+
+        This is the zero-copy half of :meth:`append`: the wire codec
+        (and any other columnar producer) lands rows directly in the
+        value arrays without ever building an attrs dict.  ``names`` and
+        ``values`` are position-aligned; ABSENT/NaN cells mark counters
+        the element does not export.
 
         Within one element the store keeps exactly one entry per
         sequence number, ordered, stamped with the time that version was
@@ -109,54 +356,84 @@ class TimeSeriesStore:
         mirror has acknowledged the latest sequence numbers.
         """
         with self._lock:
-            series = self._series.get(snap.element_id)
+            series = self._series.get(element_id)
             if series is None:
-                series = self._series[snap.element_id] = deque(
-                    maxlen=self.capacity_per_element
+                series = self._series[element_id] = _ElementSeries(
+                    element_id, machine, self.capacity_per_element
                 )
-            if series:
-                latest = series[-1]
-                if snap.seq == latest.seq:
+            if series.count:
+                if seq == series.seq_at(series.count - 1):
                     self.total_deduped += 1
                     return False
-                if self._is_reset(latest, snap):
+                if series.is_reset_against_latest(seq, names, values):
                     if self.on_regression == "raise":
                         raise ValueError(
-                            f"non-monotonic snapshot for {snap.element_id!r}: "
-                            f"seq {snap.seq} after {latest.seq}"
+                            f"non-monotonic snapshot for {element_id!r}: "
+                            f"seq {seq} after {series.seq_at(series.count - 1)}"
                         )
                     series.clear()
-                    self.resets[snap.element_id] = (
-                        self.resets.get(snap.element_id, 0) + 1
-                    )
+                    self.resets[element_id] = self.resets.get(element_id, 0) + 1
                     self.total_resets += 1
-            series.append(snap)
+            series.push_row(machine, seq, timestamp, names, values)
             self.total_appended += 1
             return True
 
-    @staticmethod
-    def _is_reset(latest: CounterSnapshot, snap: CounterSnapshot) -> bool:
-        """Did the element restart between ``latest`` and ``snap``?
-
-        Two signatures: the sequence number went backwards (the producer
-        re-numbered from scratch), or a monotonic counter shrank while
-        the sequence advanced (the counter state was zeroed under a
-        surviving producer).
-        """
-        if snap.seq < latest.seq:
-            return True
-        for attr in RESET_SENTINEL_ATTRS:
-            if (
-                attr in snap
-                and attr in latest
-                and snap.get(attr) < latest.get(attr) - 1e-9
-            ):
-                return True
-        return False
+    def append(self, snap: CounterSnapshot) -> bool:
+        """Add a snapshot; returns False when delta-compressed away."""
+        names = tuple(snap.attrs)
+        return self.append_row(
+            snap.element_id,
+            snap.machine,
+            snap.seq,
+            snap.timestamp,
+            names,
+            [float(snap.attrs[n]) for n in names],
+        )
 
     def extend(self, snaps: Iterable[CounterSnapshot]) -> int:
         """Append many snapshots; returns how many were actually stored."""
         return sum(1 for snap in snaps if self.append(snap))
+
+    def apply_blocks(self, blocks: Iterable[SeriesBlock]) -> int:
+        """Apply a drained delta batch; returns rows shipped (pre-dedup).
+
+        The mirror half of the packed wire path.  Semantically this is
+        :meth:`append_row` per row — same dedup, reset detection and
+        re-baselining — but the whole batch lands under one lock hold
+        with the element series and its column mapping resolved once per
+        block, which is where the decode side's throughput comes from.
+        """
+        shipped = 0
+        with self._lock:
+            for element_id, machine, names, rows in blocks:
+                shipped += len(rows)
+                series = self._series.get(element_id)
+                if series is None:
+                    series = self._series[element_id] = _ElementSeries(
+                        element_id, machine, self.capacity_per_element
+                    )
+                for seq, timestamp, values in rows:
+                    if series.count:
+                        if seq == series.seqs[
+                            (series.start + series.count - 1) % series.capacity
+                        ]:
+                            self.total_deduped += 1
+                            continue
+                        if series.is_reset_against_latest(seq, names, values):
+                            if self.on_regression == "raise":
+                                raise ValueError(
+                                    f"non-monotonic snapshot for {element_id!r}: "
+                                    f"seq {seq} after "
+                                    f"{series.seq_at(series.count - 1)}"
+                                )
+                            series.clear()
+                            self.resets[element_id] = (
+                                self.resets.get(element_id, 0) + 1
+                            )
+                            self.total_resets += 1
+                    series.push_row(machine, seq, timestamp, names, values)
+                    self.total_appended += 1
+        return shipped
 
     def clear(self) -> None:
         with self._lock:
@@ -174,28 +451,29 @@ class TimeSeriesStore:
 
     def __len__(self) -> int:
         with self._lock:
-            return sum(len(s) for s in self._series.values())
+            return sum(s.count for s in self._series.values())
 
-    def _get_series(self, element_id: str) -> Deque[CounterSnapshot]:
-        try:
-            return self._series[element_id]
-        except KeyError:
-            raise StoreError(f"no snapshots stored for element {element_id!r}") from None
+    def _get_series(self, element_id: str) -> _ElementSeries:
+        series = self._series.get(element_id)
+        if series is None or not series.count:
+            raise StoreError(f"no snapshots stored for element {element_id!r}")
+        return series
 
     def latest(self, element_id: str) -> CounterSnapshot:
         with self._lock:
-            return self._get_series(element_id)[-1]
+            series = self._get_series(element_id)
+            return series.materialize(series.count - 1)
 
     def at_or_before(self, element_id: str, t: float) -> CounterSnapshot:
         """The element's state as of time ``t`` (latest sample <= t)."""
         with self._lock:
             series = self._get_series(element_id)
-            for snap in reversed(series):
-                if snap.timestamp <= t + 1e-12:
-                    return snap
+            for i in range(series.count - 1, -1, -1):
+                if series.stamp_at(i) <= t + 1e-12:
+                    return series.materialize(i)
             raise StoreError(
                 f"no snapshot of {element_id!r} at or before t={t}: "
-                f"history starts at {series[0].timestamp}"
+                f"history starts at {series.stamp_at(0)}"
             )
 
     def window(self, element_id: str, t0: float, t1: float) -> CounterWindow:
@@ -212,7 +490,7 @@ class TimeSeriesStore:
             try:
                 start = self.at_or_before(element_id, t0)
             except StoreError:
-                start = series[0]
+                start = series.materialize(0)
             return CounterWindow(start=start, end=end)
 
     def window_ending_now(self, element_id: str, duration_s: float) -> CounterWindow:
@@ -225,14 +503,22 @@ class TimeSeriesStore:
             raise ValueError(f"window duration must be positive: {duration_s!r}")
         with self._lock:
             series = self._get_series(element_id)
-            end = series[-1]
-            t0 = end.timestamp - duration_s + 1e-12
-            start = series[0]
-            for snap in reversed(series):
-                if snap.timestamp <= t0:
-                    start = snap
+            memo = series._win_memo.get(duration_s)
+            if memo is not None and memo[0] == series.version:
+                return memo[1]
+            last = series.count - 1
+            stamps, start, cap = series.stamps, series.start, series.capacity
+            t0 = stamps[(start + last) % cap] - duration_s + 1e-12
+            start_i = 0
+            for i in range(last, -1, -1):
+                if stamps[(start + i) % cap] <= t0:
+                    start_i = i
                     break
-            return CounterWindow(start=start, end=end)
+            win = CounterWindow(
+                start=series.materialize(start_i), end=series.materialize(last)
+            )
+            series._win_memo[duration_s] = (series.version, win)
+            return win
 
     # -- delta-batched collection -------------------------------------------------
 
@@ -240,34 +526,68 @@ class TimeSeriesStore:
         """element id -> latest stored sequence number (the ack vector)."""
         with self._lock:
             return {
-                eid: series[-1].seq
+                eid: series.seq_at(series.count - 1)
                 for eid, series in self._series.items()
-                if series
+                if series.count
             }
+
+    def _changed_floor(self, series: _ElementSeries, acked: Mapping[str, int]) -> int:
+        """The ack floor for one element, restart-aware.
+
+        A floor *above* the element's newest stored sequence means the
+        collector acknowledged a previous incarnation of the producer
+        (it restarted and re-numbered); everything held is resent so the
+        mirror can observe the regression and re-baseline.  Returns -1
+        for "send everything", the element's own latest seq for "send
+        nothing new" handling by the caller.
+        """
+        floor = acked.get(series.element_id, -1)
+        if series.seq_at(series.count - 1) < floor:
+            return -1
+        return floor
 
     def changed_since(self, acked: Mapping[str, int]) -> List[CounterSnapshot]:
         """Every stored snapshot newer than the collector's ack vector.
 
         Returned oldest-first per element so a mirror replaying the batch
-        converges to the same series order.
-
-        A floor *above* the element's newest stored sequence means the
-        collector acknowledged a previous incarnation of the producer
-        (it restarted and re-numbered); everything held is resent so the
-        mirror can observe the regression and re-baseline.
+        converges to the same series order.  This is the dict-shaped
+        view (materialized snapshots); the wire hot path uses
+        :meth:`drain_blocks` instead.
         """
         with self._lock:
             out: List[CounterSnapshot] = []
             for eid in sorted(self._series):
-                floor = acked.get(eid, -1)
                 series = self._series[eid]
-                if not series:
+                if not series.count:
                     continue
-                if series[-1].seq < floor:
-                    floor = -1
-                elif series[-1].seq == floor:
+                floor = self._changed_floor(series, acked)
+                for i in range(series.count):
+                    if series.seq_at(i) > floor:
+                        out.append(series.materialize(i))
+            return out
+
+    def changed_blocks(self, acked: Mapping[str, int]) -> List[SeriesBlock]:
+        """:meth:`changed_since`, columnar: zero dicts, zero snapshots.
+
+        Each element contributes one block — its id, machine, attr-name
+        schema and the changed rows as ``(seq, timestamp, values)`` with
+        ``values`` a flat fixed-stride slice of the ring's value array.
+        This is what the binary wire codec packs directly.
+        """
+        with self._lock:
+            out: List[SeriesBlock] = []
+            for eid in sorted(self._series):
+                series = self._series[eid]
+                if not series.count:
                     continue
-                out.extend(snap for snap in series if snap.seq > floor)
+                floor = self._changed_floor(series, acked)
+                rows: List[Tuple[int, float, Sequence[float]]] = []
+                for i in range(series.count):
+                    seq = series.seq_at(i)
+                    if seq > floor:
+                        rows.append((seq, series.stamp_at(i), series.row_values(i)))
+                if rows:
+                    out.append((eid, series.machine, series.attr_names, rows))
             return out
 
     def drain(
@@ -283,3 +603,27 @@ class TimeSeriesStore:
         """
         with self._lock:
             return self.changed_since(acked), self.cursor()
+
+    def drain_blocks(
+        self, acked: Mapping[str, int]
+    ) -> Tuple[List[SeriesBlock], Dict[str, int]]:
+        """:meth:`drain`, columnar — the packed wire path's atomic drain."""
+        with self._lock:
+            return self.changed_blocks(acked), self.cursor()
+
+
+def blocks_to_snapshots(blocks: Iterable[SeriesBlock]) -> List[CounterSnapshot]:
+    """Materialize a drained block batch into dict-shaped snapshots.
+
+    Compatibility shim for callers that still want the
+    :meth:`TimeSeriesStore.drain` shape from a columnar drain.
+    """
+    out: List[CounterSnapshot] = []
+    for element_id, machine, names, rows in blocks:
+        for seq, timestamp, values in rows:
+            out.append(
+                CounterSnapshot.from_columns(
+                    element_id, machine, seq, timestamp, names, values
+                )
+            )
+    return out

@@ -69,13 +69,24 @@ class TestCrossWireTrace:
 
         (sync,) = spans_of(hub, "mirror.sync")
         (call,) = spans_of(hub, "wire.call")
-        (serve,) = spans_of(hub, "wire.serve")
+        # the first exchange on a fresh connection also negotiates the
+        # codec: its HELLO handshake gets its own client span and serve
+        # span, all inside the same trace
+        (hello,) = spans_of(hub, "wire.hello")
+        serves = {s.attrs["op"]: s for s in spans_of(hub, "wire.serve")}
+        assert set(serves) == {"hello", "batch_delta"}
+        serve = serves["batch_delta"]
         (sweep,) = spans_of(hub, "agent.sweep")
 
         # one trace id on both sides of the wire
         assert sync.trace_id == call.trace_id == serve.trace_id == sweep.trace_id
-        # parent/child chain: sync -> call -(wire)-> serve -> sweep
+        assert hello.trace_id == sync.trace_id
+        assert serves["hello"].trace_id == sync.trace_id
+        # parent/child chain: sync -> call -(wire)-> serve -> sweep,
+        # with the handshake hanging off the call span
         assert call.parent_id == sync.span_id
+        assert hello.parent_id == call.span_id
+        assert serves["hello"].parent_id == hello.span_id
         assert serve.parent_id == call.span_id
         assert serve.remote_parent
         assert sweep.parent_id == serve.span_id
