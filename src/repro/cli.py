@@ -9,6 +9,7 @@ Runs the reproduction's experiments and demos from a shell:
 * ``fig16``             — poll-frequency vs agent CPU table
 * ``obs``               — self-observability demo: spans/metrics/events
 * ``fleet``             — concurrent fleet collection demo over real TCP
+* ``scale``             — hierarchical control plane demo (zones + root)
 * ``list``              — the experiment inventory with paper references
 """
 
@@ -34,6 +35,10 @@ EXPERIMENTS = {
            "wire, metrics registry, structured events (§6 analog)",
     "fleet": "concurrent fleet collection: serial vs fanned-out refresh "
              "over real TCP agents, plus a fleet-wide Algorithm-1 scan",
+    "scale": "hierarchical control plane: push-mode agents, zone "
+             "aggregators pushing roll-ups to a fleet root over TCP, "
+             "rebalance on zone leave, verdicts equal to a flat "
+             "controller",
 }
 
 
@@ -389,6 +394,194 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scale_scenario(n_machines: int, n_zones: int, window_s: float):
+    """Three-tier control plane end to end; returns a JSON-ready dict.
+
+    Agents push deltas to their zone aggregator on change; the zones
+    diagnose their shards around ONE shared time advance and push
+    scalar roll-ups to the fleet root over real TCP (bin1-negotiated
+    ZONE_REPORT frames).  A flat controller diagnoses the same fleet in
+    the same interval so the demo can *show* the hierarchy's verdicts
+    are equal, not just plausible.  Prints nothing (``--json`` mode
+    must emit clean JSON).
+    """
+    from repro.core.controller import FleetController, ZoneController
+    from repro.core.net.client import ZoneClient
+    from repro.core.net.server import FleetServer
+    from repro.middleboxes.http import HttpServer
+    from repro.scenarios.common import Harness
+    from repro.simnet.packet import Flow
+    from repro.workloads.traffic import ExternalTrafficSource
+
+    if n_machines < 1 or n_zones < 1:
+        raise ValueError("need at least one machine and one zone")
+
+    h = Harness(seed=7)
+    for i in range(n_machines):
+        name = f"host-{i:03d}"
+        machine = h.add_machine(name)
+        # Every third machine gets a capped VM: a real individual-scope
+        # bottleneck verdict for the equality check to bite on.
+        capped = 50e6 if i % 3 == 0 else None
+        vm = machine.add_vm("vm0", vcpu_cores=1.0, vnic_bps=capped)
+        app = HttpServer(h.sim, vm, f"app-{name}", cpu_per_byte=1e-9)
+        flow = Flow(f"rx-{name}", dst_vm="vm0", kind="udp")
+        vm.bind_udp(flow, app.socket)
+        ExternalTrafficSource(
+            h.sim, f"src-{name}", flow, machine.inject,
+            rate_bps=200e6 if capped else 100e6,
+        )
+    h.advance(0.5)
+
+    fleet = FleetController("fleet-root")
+    fleet.track_machines(h.agents)
+    zones = {}
+    for z in range(n_zones):
+        zone_name = f"zone-{z}"
+        fleet.register_zone(zone_name)
+        zones[zone_name] = ZoneController(zone_name)
+    shard_sizes = {}
+    for zone_name, machines in fleet.shards().items():
+        shard_sizes[zone_name] = len(machines)
+        for name in machines:
+            zones[zone_name].register_local_agent(h.agents[name])
+
+    # Tier 1 -> 2: agents push SeriesBlock deltas on change (the poll
+    # path stays available as catch-up; overlap dedupes at the mirror).
+    for zone in zones.values():
+        for name in zone.machines():
+            h.agents[name].start_pushing(zone, period_s=0.05)
+    h.advance(0.3)
+
+    def hierarchical_round():
+        """Split-phase scan: all zones share ONE advance, then report."""
+        scans = {z: zc.begin_fleet_scan(window_s) for z, zc in zones.items()}
+        h.advance(window_s)
+        return {
+            z: zones[z].build_zone_report(zones[z].finish_fleet_scan(scan))
+            for z, scan in scans.items()
+        }
+
+    # Flat baseline over the same interval: open its windows alongside
+    # the zones' so every tier measures the identical slice of time.
+    flat_scan = h.controller.begin_fleet_scan(window_s)
+    zone_scans = {z: zc.begin_fleet_scan(window_s) for z, zc in zones.items()}
+    h.advance(window_s)
+    flat = h.controller.finish_fleet_scan(flat_scan)
+    reports = {
+        z: zones[z].build_zone_report(zones[z].finish_fleet_scan(scan))
+        for z, scan in zone_scans.items()
+    }
+
+    # Tier 2 -> 3: real TCP, one ZoneClient per zone, bin1-negotiated.
+    accepted = 0
+    with FleetServer(fleet) as server:
+        host, port = server.address
+        for zone_name, report in reports.items():
+            with ZoneClient(host, port, name=f"{zone_name}-link") as link:
+                link.subscribe(zone_name)
+                if link.push_report(report.to_wire()):
+                    accepted += 1
+    rollup = fleet.rollup()
+    verdicts_equal = rollup.verdicts == flat.verdicts
+
+    # Rebalance arc: the last zone leaves, its machines re-register
+    # with the survivors (consistent hashing moves nothing else), and
+    # the next round still covers the whole fleet.
+    moves = {}
+    if n_zones > 1:
+        victim = f"zone-{n_zones - 1}"
+        for name in list(zones[victim].machines()):
+            h.agents[name].stop_pushing()
+        moves = fleet.remove_zone(victim)
+        for name, (old, new) in moves.items():
+            handle = zones[old].unregister_agent(name)
+            zones[new].register_agent(name, handle)
+            h.agents[name].start_pushing(zones[new], period_s=0.05)
+        zones.pop(victim)
+        h.advance(0.2)
+        for zone_name, report in hierarchical_round().items():
+            fleet.ingest_zone_report(report)
+        rollup = fleet.rollup()
+
+    for agent in h.agents.values():
+        if agent.pushing:
+            agent.stop_pushing()
+
+    pushes = sum(a.total_pushes for a in h.agents.values())
+    pushed_rows = sum(a.total_pushed_rows for a in h.agents.values())
+    skips = sum(a.total_push_skips for a in h.agents.values())
+    return {
+        "machines": n_machines,
+        "zones": n_zones,
+        "shard_sizes": shard_sizes,
+        "window_s": window_s,
+        "push": {"pushes": pushes, "rows": pushed_rows, "skips": skips},
+        "wire_reports_accepted": accepted,
+        "verdicts_equal_flat": verdicts_equal,
+        "flat_verdicts": [
+            (m, v.describe()) for m, v in flat.verdicts
+        ],
+        "rebalance_moves": {
+            m: {"from": old, "to": new} for m, (old, new) in moves.items()
+        },
+        "rollup": {
+            "machines": len(rollup.machines),
+            "zones": rollup.zone_names,
+            "worst_machine": rollup.worst_machine,
+            "degraded_machines": rollup.degraded_machines,
+            "worst_health": rollup.worst_health,
+            "throughput_pps": rollup.throughput_pps,
+            "total_loss_pkts": rollup.total_loss_pkts,
+            "verdicts": [(m, v.describe()) for m, v in rollup.verdicts],
+            "summary": rollup.summary(),
+        },
+    }
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
+    import json
+
+    result = _run_scale_scenario(args.machines, args.zones, args.window_s)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+        return 0
+
+    print(
+        f"== hierarchical control plane: {result['machines']} machines "
+        f"across {result['zones']} zone(s)"
+    )
+    print(f"  shard sizes: {result['shard_sizes']}")
+    push = result["push"]
+    print(
+        f"  push-on-change: {push['pushes']} push(es) shipped "
+        f"{push['rows']} row(s); {push['skips']} clean tick(s) skipped"
+    )
+    print(
+        f"  zone -> root wire: {result['wire_reports_accepted']} "
+        f"roll-up(s) accepted over TCP"
+    )
+    equal = "EQUAL" if result["verdicts_equal_flat"] else "MISMATCH"
+    print(f"  verdicts vs flat controller on the same window: {equal}")
+    if result["rebalance_moves"]:
+        moved = len(result["rebalance_moves"])
+        print(
+            f"  rebalance: last zone left, {moved} machine(s) moved to "
+            f"the survivors — nothing else shuffled"
+        )
+    print("\n== fleet roll-up at the root (scalars only, no mirrors)")
+    r = result["rollup"]
+    print(f"  {r['summary']}")
+    print(
+        f"  throughput {r['throughput_pps']:.0f} pps, "
+        f"loss {r['total_loss_pkts']:.0f} pkt(s), "
+        f"worst health {r['worst_health']}"
+    )
+    for machine, verdict in r["verdicts"]:
+        print(f"  {machine}: {verdict}")
+    return 0 if result["verdicts_equal_flat"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
@@ -446,6 +639,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one JSON document instead of the human-readable report",
     )
     p_fleet.set_defaults(fn=cmd_fleet)
+    p_scale = sub.add_parser(
+        "scale",
+        help="hierarchical control plane demo: push-mode agents, zone "
+        "aggregators, fleet root over TCP, rebalance on zone leave",
+    )
+    p_scale.add_argument(
+        "--machines", type=int, default=9, help="fleet size (default 9)"
+    )
+    p_scale.add_argument(
+        "--zones", type=int, default=3, help="zone count (default 3)"
+    )
+    p_scale.add_argument(
+        "--window-s", type=float, default=0.5,
+        help="Algorithm-1 diagnosis window in simulated seconds "
+        "(default 0.5)",
+    )
+    p_scale.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document instead of the human-readable report",
+    )
+    p_scale.set_defaults(fn=cmd_scale)
     return parser
 
 

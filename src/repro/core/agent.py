@@ -21,9 +21,10 @@ usage as a function of poll frequency).
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Tuple
 
 from repro import obs
 from repro.core.channels import Channel, ChannelError, ChannelTimeout
@@ -37,12 +38,40 @@ from repro.simnet.engine import PeriodicHandle, Simulator
 #: is the rate the diagnostics need (Figure 16 shows it costs < 0.5% CPU).
 DEFAULT_POLL_PERIOD_S = 0.1
 
+#: Default push cadence: each tick ships only if something changed, so
+#: pushing faster than the poll sweep just re-checks an empty delta.
+DEFAULT_PUSH_PERIOD_S = 0.1
+
+#: Env knobs for the push plane (documented in README/DESIGN.md).
+#: ``PERFSIGHT_PUSH_PERIOD_S`` overrides the push cadence;
+#: ``PERFSIGHT_PUSH_DISABLE`` (any non-empty value) turns pushing off
+#: entirely — agents then rely on the zone's poll fallback.
+PUSH_PERIOD_ENV = "PERFSIGHT_PUSH_PERIOD_S"
+PUSH_DISABLE_ENV = "PERFSIGHT_PUSH_DISABLE"
+
 #: Self-observability names.  ``agent`` labels are fleet-bounded (one
 #: value per server), matching the cardinality rules in DESIGN.md.
 SWEEP_DURATION_METRIC = "perfsight_agent_sweep_duration_seconds"
 SWEEP_FAULTS_METRIC = "perfsight_agent_sweep_faults_total"
 STORE_SNAPSHOTS_METRIC = "perfsight_agent_store_snapshots"
 QUERIES_METRIC = "perfsight_agent_queries_total"
+PUSHES_METRIC = "perfsight_agent_pushes_total"
+
+
+class PushTarget(Protocol):
+    """Where an agent ships its delta blocks — the zone tier.
+
+    Satisfied in-process by
+    :meth:`repro.core.controller.ZoneController.ingest_push` and over
+    the wire by the TCP client's push surface.
+    """
+
+    def ingest_push(
+        self,
+        machine_name: str,
+        blocks: List[SeriesBlock],
+        cursor: Optional[Dict[str, int]] = None,
+    ) -> int: ...
 
 
 class Agent:
@@ -70,6 +99,16 @@ class Agent:
         self.total_poll_timeouts = 0
         self._poll_handle: Optional[PeriodicHandle] = None
         self.poll_period_s: Optional[float] = None
+        # Push-on-change state: the zone target, the agent-side ack
+        # cursor (what the zone has confirmed received), and counters.
+        self._push_handle: Optional[PeriodicHandle] = None
+        self._push_target: Optional[PushTarget] = None
+        self._push_acked: Dict[str, int] = {}
+        self.push_period_s: Optional[float] = None
+        self.total_pushes = 0
+        self.total_push_skips = 0
+        self.total_push_errors = 0
+        self.total_pushed_rows = 0
 
     # -- element discovery -------------------------------------------------------
 
@@ -259,6 +298,85 @@ class Agent:
     @property
     def polling(self) -> bool:
         return self._poll_handle is not None and self._poll_handle.active
+
+    # -- push-on-change (agent -> zone) ------------------------------------------------
+
+    def start_pushing(
+        self,
+        zone: PushTarget,
+        period_s: Optional[float] = None,
+    ) -> Optional[PeriodicHandle]:
+        """Push changed delta blocks to the zone tier on a cadence.
+
+        Each tick reads :meth:`TimeSeriesStore.changed_blocks` against
+        the agent's own ack cursor and ships **only when non-empty** —
+        an idle machine costs the zone nothing.  The zone's poll path
+        stays on as the fallback/catch-up mechanism: a push the network
+        eats is re-shipped by the next push tick (the cursor only
+        advances on success) or picked up by the next poll, and the
+        mirror's per-sequence dedup makes the overlap harmless.
+
+        ``period_s`` defaults to :data:`DEFAULT_PUSH_PERIOD_S`, or the
+        :data:`PUSH_PERIOD_ENV` env override.  With
+        :data:`PUSH_DISABLE_ENV` set, this is a documented no-op
+        returning None — deployments drop to poll-only without code
+        changes.
+        """
+        if os.environ.get(PUSH_DISABLE_ENV):
+            return None
+        if period_s is None:
+            env = os.environ.get(PUSH_PERIOD_ENV)
+            period_s = float(env) if env else DEFAULT_PUSH_PERIOD_S
+        if period_s <= 0:
+            raise ValueError(f"push period must be positive: {period_s!r}")
+        if self._push_handle is not None and self._push_handle.active:
+            raise RuntimeError(f"agent {self.name!r} is already pushing")
+        self._push_target = zone
+        self.push_period_s = period_s
+        self.push_once()
+        self._push_handle = self.sim.schedule_every(period_s, self.push_once)
+        return self._push_handle
+
+    def stop_pushing(self) -> None:
+        if self._push_handle is not None:
+            self._push_handle.cancel()
+            self._push_handle = None
+        self._push_target = None
+        self.push_period_s = None
+
+    @property
+    def pushing(self) -> bool:
+        return self._push_handle is not None and self._push_handle.active
+
+    def push_once(self) -> int:
+        """One push tick; returns rows shipped (0 when nothing changed).
+
+        Failures of the push path (zone unreachable, socket errors) are
+        tolerated exactly like poll-path failures: counted, and the
+        delta stays pending for the next tick or the poll fallback.
+        """
+        zone = self._push_target
+        if zone is None:
+            return 0
+        if not self.polling:
+            self.poll_once()
+        blocks = self.store.changed_blocks(self._push_acked)
+        if not blocks:
+            self.total_push_skips += 1
+            return 0
+        cursor = self.store.cursor()
+        rows = sum(len(block_rows) for _, _, _, block_rows in blocks)
+        try:
+            zone.ingest_push(self.machine.name, blocks, cursor)
+        except (ConnectionError, OSError):
+            self.total_push_errors += 1
+            obs.counter(PUSHES_METRIC, agent=self.name, ok="false")
+            return 0
+        self._push_acked = cursor
+        self.total_pushes += 1
+        self.total_pushed_rows += rows
+        obs.counter(PUSHES_METRIC, agent=self.name, ok="true")
+        return rows
 
     def collect_delta(
         self, acked: Optional[Mapping[str, int]] = None

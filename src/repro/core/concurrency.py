@@ -177,6 +177,11 @@ class ConnectionPool(Generic[T]):
 
     ``on_change(in_use, idle)`` fires after every state change so the
     owner can export gauges without this module knowing about metrics.
+
+    The closer is never invoked while the pool lock is held: reaping
+    unhooks expired resources under the lock, then closes them outside
+    it, so a slow (or pool-re-entrant) closer cannot stall checkouts and
+    a reap racing a checkout cannot hand out a just-closed resource.
     """
 
     def __init__(
@@ -213,33 +218,44 @@ class ConnectionPool(Generic[T]):
     def checkout(self, timeout_s: Optional[float] = None) -> T:
         """Borrow a resource; blocks while all ``max_size`` are in use."""
         deadline = None if timeout_s is None else self._clock() + timeout_s
-        with self._cond:
-            while True:
-                if self._closed:
-                    raise PoolClosed("pool is closed")
-                self._reap_locked()
-                if self._idle:
-                    resource, _ = self._idle.pop()  # LIFO: warmest first
-                    self._in_use += 1
-                    self.reused += 1
-                    self._notify_change_locked()
-                    return resource
-                if self._in_use < self.max_size:
-                    # Create outside the condition so a slow connect does
-                    # not block peers returning resources; the slot is
-                    # reserved first so the bound holds.
-                    self._in_use += 1
-                    break
-                if deadline is not None:
-                    remaining = deadline - self._clock()
-                    if remaining <= 0 or not self._cond.wait(remaining):
-                        if deadline <= self._clock():
-                            raise PoolTimeout(
-                                f"no free connection within {timeout_s}s "
-                                f"({self.max_size} in use)"
-                            )
-                else:
-                    self._cond.wait()
+        # Expired idle resources are unhooked from ``_idle`` under the
+        # lock but closed only after it is released (see ``finally``):
+        # closing under the lock would stall every concurrent checkout
+        # behind a slow closer, and a closer that ever touched the pool
+        # would deadlock.  Because removal is atomic, no peer can check
+        # out a resource that is about to be closed.
+        expired: List[T] = []
+        try:
+            with self._cond:
+                while True:
+                    if self._closed:
+                        raise PoolClosed("pool is closed")
+                    expired.extend(self._take_expired_locked())
+                    if self._idle:
+                        resource, _ = self._idle.pop()  # LIFO: warmest first
+                        self._in_use += 1
+                        self.reused += 1
+                        self._notify_change_locked()
+                        return resource
+                    if self._in_use < self.max_size:
+                        # Create outside the condition so a slow connect
+                        # does not block peers returning resources; the
+                        # slot is reserved first so the bound holds.
+                        self._in_use += 1
+                        break
+                    if deadline is not None:
+                        remaining = deadline - self._clock()
+                        if remaining <= 0 or not self._cond.wait(remaining):
+                            if deadline <= self._clock():
+                                raise PoolTimeout(
+                                    f"no free connection within {timeout_s}s "
+                                    f"({self.max_size} in use)"
+                                )
+                    else:
+                        self._cond.wait()
+        finally:
+            for stale in expired:
+                self._close_quietly(stale)
         try:
             resource = self._factory()
         except BaseException:
@@ -280,25 +296,44 @@ class ConnectionPool(Generic[T]):
     # -- maintenance --------------------------------------------------------------
 
     def reap_idle(self) -> int:
-        """Close idle resources older than ``max_idle_s``; returns count."""
-        with self._cond:
-            before = self.reaped
-            self._reap_locked()
-            self._notify_change_locked()
-            return self.reaped - before
+        """Close idle resources older than ``max_idle_s``; returns count.
 
-    def _reap_locked(self) -> None:
+        Expired entries are removed from the idle list atomically under
+        the pool lock and closed only after it is released.  The order
+        matters: a reap racing a checkout must never hand the peer a
+        just-closed resource, so a resource is either still pooled and
+        open, or already unhooked and invisible to checkouts by the time
+        its closer runs.
+        """
+        with self._cond:
+            expired = self._take_expired_locked()
+            self._notify_change_locked()
+        for resource in expired:
+            self._close_quietly(resource)
+        return len(expired)
+
+    def _take_expired_locked(self) -> List[T]:
+        """Unhook idle entries past ``max_idle_s``; caller closes them.
+
+        Must run under ``_cond``.  Returns the expired resources without
+        closing them — invoking the closer under the pool lock would
+        serialize every checkout behind it (and deadlock if a closer
+        re-entered the pool), so disposal is the caller's job once the
+        lock is dropped.
+        """
         if self.max_idle_s is None or not self._idle:
-            return
+            return []
         cutoff = self._clock() - self.max_idle_s
+        expired: List[T] = []
         keep: List[Tuple[T, float]] = []
         for resource, idle_since in self._idle:
             if idle_since <= cutoff:
-                self._close_quietly(resource)
+                expired.append(resource)
                 self.reaped += 1
             else:
                 keep.append((resource, idle_since))
         self._idle = keep
+        return expired
 
     def close_all(self) -> None:
         """Close every idle resource and refuse new checkouts.

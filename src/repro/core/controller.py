@@ -36,6 +36,24 @@ never interleave inside one mirror's sync; cross-mirror state
 and :meth:`Controller.diagnose_fleet` runs Algorithm 1 across the whole
 fleet with the per-machine scans fanned out around a single shared
 window advance.
+
+At fleet scale the flat design stops working: one process holding 500+
+mirrors and polling 500+ agents per round is both a memory and a
+wall-clock wall.  The control plane is therefore *hierarchical*:
+
+* :class:`ZoneController` is the reusable mirror + refresh +
+  Algorithm-1/2 tier — everything above — owning one consistent-hashed
+  shard of machines (see :mod:`repro.core.sharding`).  It also accepts
+  agent *pushes* (:meth:`ZoneController.ingest_push`) so agents ship
+  deltas on change instead of waiting to be polled, and summarizes its
+  shard into a :class:`~repro.core.diagnosis.report.ZoneReport` of
+  per-machine scalars.
+* :class:`Controller` is the single-zone alias that keeps the flat
+  deployments (tests, small labs) working unchanged.
+* :class:`FleetController` is the root tier: it owns the hash ring,
+  rebalances shard ownership on zone join/leave, and merges pushed
+  zone reports into fleet roll-ups.  It never holds an agent handle or
+  a mirror — per-machine time series stop at the zone tier.
 """
 
 from __future__ import annotations
@@ -64,7 +82,8 @@ from repro.core.health import AgentHealth, DataQuality, HealthPolicy
 from repro.core.net.client import AgentUnreachable
 from repro.core.net.protocol import ProtocolError
 from repro.core.records import StatRecord
-from repro.core.store import StoreError, TimeSeriesStore
+from repro.core.sharding import DEFAULT_REPLICAS, HashRing, moved_keys
+from repro.core.store import SeriesBlock, StoreError, TimeSeriesStore
 
 #: Failures of the collection path itself — swallowed into health
 #: tracking.  Anything else (an agent *refusing* an op, a programming
@@ -76,6 +95,8 @@ SYNC_TOTAL_METRIC = "perfsight_mirror_syncs_total"
 SYNC_SNAPSHOTS_METRIC = "perfsight_mirror_snapshots_total"
 STALENESS_METRIC = "perfsight_mirror_staleness_seconds"
 REFRESH_WORKERS_METRIC = "perfsight_controller_refresh_workers"
+PUSH_ROWS_METRIC = "perfsight_zone_pushed_rows_total"
+ZONE_REPORTS_METRIC = "perfsight_fleet_zone_reports_total"
 
 T = TypeVar("T")
 
@@ -271,12 +292,20 @@ class RefreshReport:
         return "\n".join(lines)
 
 
-class Controller:
-    """Routes statistics requests between operators and agents."""
+class ZoneController:
+    """Routes statistics requests between operators and its agent shard.
+
+    The reusable middle tier of the hierarchy: owns the mirrors,
+    refresh fan-out and Algorithm-1/2 machinery for one shard of
+    machines, accepts agent pushes, and rolls its shard up into
+    :class:`~repro.core.diagnosis.report.ZoneReport` scalars for the
+    fleet tier.  Used standalone (via the :class:`Controller` alias) it
+    is exactly the old flat controller.
+    """
 
     def __init__(
         self,
-        name: str = "perfsight-controller",
+        name: str = "perfsight-zone",
         max_workers: int = DEFAULT_MAX_WORKERS,
     ) -> None:
         if max_workers < 1:
@@ -289,6 +318,15 @@ class Controller:
         # Guards the registries against registration racing a fan-out's
         # machine enumeration; per-mirror state has its own locks.
         self._registry_lock = threading.Lock()
+        # Merge scratch reused across diagnose_fleet rounds (created
+        # lazily: the diagnosis package imports this module).
+        self._merge_buffers = None
+        # Monotonic zone-report sequence; the root dedupes replays on it.
+        self._report_seq = 0
+        self._report_lock = threading.Lock()
+        #: Rows received via agent push (post-dedup not tracked; this is
+        #: the raw shipped count, mirroring ``snapshots_received``).
+        self.pushed_rows = 0
 
     # -- registration -----------------------------------------------------------------
 
@@ -309,6 +347,24 @@ class Controller:
     def register_local_agent(self, agent: Agent) -> None:
         """Convenience for in-process agents."""
         self.register_agent(agent.machine.name, agent)
+
+    def unregister_agent(self, machine_name: str) -> AgentHandle:
+        """Drop a machine from this shard; returns its handle.
+
+        The rebalance move-out half: when the hash ring reassigns a
+        machine to another zone, its handle re-registers there and this
+        zone forgets the mirror (the new zone's mirror re-fills from
+        the agent's store, which retains recent history).
+        """
+        with self._registry_lock:
+            try:
+                handle = self._agents.pop(machine_name)
+            except KeyError:
+                raise KeyError(
+                    f"no agent registered for machine {machine_name!r}"
+                ) from None
+            del self._mirrors[machine_name]
+            return handle
 
     def register_tenant(self, tenant: Tenant) -> None:
         if tenant.tenant_id in self._tenants:
@@ -388,6 +444,39 @@ class Controller:
         return self.refresh_report(
             machine_names, concurrent=True, max_workers=max_workers
         ).total_snapshots
+
+    def ingest_push(
+        self,
+        machine_name: str,
+        blocks: List[SeriesBlock],
+        cursor: Optional[Dict[str, int]] = None,
+    ) -> int:
+        """Apply agent-pushed delta blocks to the machine's mirror.
+
+        The push half of the collection plane: agents ship
+        ``changed_blocks`` on change instead of waiting for a poll.
+        Idempotent — the mirror store dedupes rows by per-element
+        sequence number, so a retried push, or a push racing the poll
+        fallback, can never double-apply.  ``cursor`` (the agent's seq
+        vector at push time) advances the mirror's ack floor so the
+        next poll ships only what the pushes missed.
+
+        A push also counts as a successful collection exchange for the
+        agent's health state machine: data arriving proves the path up.
+        """
+        mirror = self.mirror_for(machine_name)
+        with mirror._sync_lock:
+            shipped = mirror.store.apply_blocks(blocks)
+            if cursor:
+                merged = dict(mirror.acked)
+                merged.update(cursor)
+                mirror.acked = merged
+            mirror.snapshots_received += shipped
+            mirror.health.record_success()
+        with self._registry_lock:
+            self.pushed_rows += shipped
+        obs.counter(PUSH_ROWS_METRIC, float(shipped), machine=machine_name)
+        return shipped
 
     def refresh_report(
         self,
@@ -503,6 +592,87 @@ class Controller:
 
     # -- fleet diagnosis -------------------------------------------------------------
 
+    def begin_fleet_scan(
+        self,
+        window_s: float = 1.0,
+        machines: Optional[Iterable[str]] = None,
+        rulebook: Optional["object"] = None,
+        max_workers: Optional[int] = None,
+    ) -> "ZoneScan":
+        """Open Algorithm-1 windows on every shard machine (fanned out).
+
+        The split-phase half the hierarchy needs: every zone opens its
+        windows, then ONE shared time advance runs for the whole fleet,
+        then every zone closes them — all tiers end up measuring the
+        exact same interval, which is why a hierarchical diagnosis
+        reaches verdicts *equal* to a flat controller's, not merely
+        similar.  Callers that own their zone alone can use
+        :meth:`diagnose_fleet`, which composes the two halves around
+        the advance.
+        """
+        # Imported lazily: the diagnosis package imports this module.
+        from repro.core.diagnosis.contention import ContentionDetector
+
+        names = list(machines) if machines is not None else self.machines()
+        detector = ContentionDetector(
+            self, lambda _dt: None, rulebook=rulebook, window_s=window_s
+        )
+        wall0 = time.perf_counter()
+        with obs.span(
+            "controller.begin_fleet_scan", zone=self.name, machines=len(names)
+        ):
+            scans, peak = self._fan_out(
+                [(m, detector.begin) for m in names], max_workers
+            )
+        return ZoneScan(
+            zone=self.name,
+            window_s=window_s,
+            detector=detector,
+            scans=scans,
+            machines=names,
+            wall0=wall0,
+            peak_workers=peak,
+        )
+
+    def finish_fleet_scan(
+        self, scan: "ZoneScan", max_workers: Optional[int] = None
+    ):
+        """Close the windows a :meth:`begin_fleet_scan` opened and merge.
+
+        Returns the zone's
+        :class:`~repro.core.diagnosis.report.FleetDiagnosis`, its
+        merged views served from buffers this controller reuses across
+        rounds (see
+        :class:`~repro.core.diagnosis.report.FleetMergeBuffers`).
+        """
+        from repro.core.diagnosis.report import FleetDiagnosis, FleetMergeBuffers
+
+        with obs.span(
+            "controller.finish_fleet_scan",
+            zone=self.name,
+            machines=len(scan.machines),
+        ) as sp:
+            reports, peak_finish = self._fan_out(
+                [
+                    (m, lambda m_: scan.detector.finish_observed(scan.scans[m_]))
+                    for m in scan.machines
+                ],
+                max_workers,
+            )
+            diagnosis = FleetDiagnosis(
+                window_s=scan.window_s,
+                reports=reports,
+                wall_s=time.perf_counter() - scan.wall0,
+                peak_workers=max(scan.peak_workers, peak_finish, 1),
+            )
+            if self._merge_buffers is None:
+                self._merge_buffers = FleetMergeBuffers()
+            self._merge_buffers.merge(diagnosis)
+            sp.set("degraded", len(diagnosis.degraded_machines))
+            if diagnosis.worst_machine is not None:
+                sp.set("worst", diagnosis.worst_machine)
+        return diagnosis
+
     def diagnose_fleet(
         self,
         advance: Callable[[float], None],
@@ -520,34 +690,71 @@ class Controller:
         merged :class:`~repro.core.diagnosis.report.FleetDiagnosis`
         flags machines whose verdicts rest on degraded data.
         """
-        # Imported lazily: the diagnosis package imports Controller.
-        from repro.core.diagnosis.contention import ContentionDetector
-        from repro.core.diagnosis.report import FleetDiagnosis
-
         names = list(machines) if machines is not None else self.machines()
-        detector = ContentionDetector(
-            self, advance, rulebook=rulebook, window_s=window_s
-        )
-        wall0 = time.perf_counter()
-        with obs.span("controller.diagnose_fleet", machines=len(names)) as sp:
-            scans, peak_begin = self._fan_out(
-                [(m, detector.begin) for m in names], max_workers
+        with obs.span("controller.diagnose_fleet", machines=len(names)):
+            scan = self.begin_fleet_scan(
+                window_s, machines=names, rulebook=rulebook,
+                max_workers=max_workers,
             )
             advance(window_s)
-            reports, peak_finish = self._fan_out(
-                [(m, lambda m_: detector.finish_observed(scans[m_])) for m in names],
-                max_workers,
-            )
-            diagnosis = FleetDiagnosis(
-                window_s=window_s,
-                reports=reports,
-                wall_s=time.perf_counter() - wall0,
-                peak_workers=max(peak_begin, peak_finish, 1),
-            )
-            sp.set("degraded", len(diagnosis.degraded_machines))
-            if diagnosis.worst_machine is not None:
-                sp.set("worst", diagnosis.worst_machine)
-        return diagnosis
+            return self.finish_fleet_scan(scan, max_workers=max_workers)
+
+    # -- zone roll-up (what crosses the zone -> fleet wire) ---------------------------
+
+    def build_zone_report(self, diagnosis, window_s: Optional[float] = None):
+        """Summarize a shard diagnosis into per-machine scalars.
+
+        Each machine contributes its health state, verdicts, total
+        ranked loss and the Figure-6 rates read from the trailing
+        mirror window — O(1) scalars per machine, no time series.  The
+        report's ``seq`` increments per call, making its wire replay
+        idempotent at the root.
+        """
+        from repro.core.diagnosis.report import MachineSummary, ZoneReport
+
+        window = window_s if window_s is not None else diagnosis.window_s
+        summaries: Dict[str, "MachineSummary"] = {}
+        for machine, report in diagnosis.reports.items():
+            summaries[machine] = self._summarize_machine(machine, report, window)
+        with self._report_lock:
+            self._report_seq += 1
+            seq = self._report_seq
+        return ZoneReport(
+            zone=self.name,
+            seq=seq,
+            window_s=window,
+            machines=summaries,
+        )
+
+    def _summarize_machine(self, machine: str, report, window_s: float):
+        """One machine's scalar summary from its mirror + scan report."""
+        from repro.core.diagnosis.report import MachineSummary
+
+        mirror = self.mirror_for(machine)
+        rx_pkts = rx_bytes = lost = 0.0
+        elements = 0
+        for eid in mirror.store.element_ids():
+            try:
+                win = mirror.store.window_ending_now(eid, window_s)
+            except StoreError:
+                continue
+            elements += 1
+            rx_pkts += win.delta("rx_pkts")
+            rx_bytes += win.delta("rx_bytes")
+            lost += max(0.0, win.pkt_loss())
+        dt = max(window_s, 1e-9)
+        return MachineSummary(
+            machine=machine,
+            health=mirror.health.state,
+            confidence=report.confidence,
+            loss_pkts=sum(el.loss_pkts for el in report.ranked),
+            throughput_pps=rx_pkts / dt,
+            pkt_loss_rate=(lost / rx_pkts) if rx_pkts > 0 else 0.0,
+            avg_pkt_size=(rx_bytes / rx_pkts) if rx_pkts > 0 else 0.0,
+            elements=elements,
+            missing_elements=len(report.missing_elements),
+            verdicts=tuple(report.verdicts),
+        )
 
     # -- health and data quality ---------------------------------------------------------
 
@@ -680,3 +887,214 @@ class Controller:
     ) -> List[StatRecord]:
         """Raw synchronous per-machine pull, bypassing the mirror."""
         return self.agent_for(machine_name).query(element_ids, attrs)
+
+
+@dataclass
+class ZoneScan:
+    """In-flight split-phase fleet scan: windows open, not yet closed.
+
+    Produced by :meth:`ZoneController.begin_fleet_scan`; consumed
+    exactly once by :meth:`ZoneController.finish_fleet_scan` after the
+    caller advances time.  ``detector`` and the per-machine ``scans``
+    hold the captured window starts.
+    """
+
+    zone: str
+    window_s: float
+    detector: "object"
+    scans: Dict[str, "object"]
+    machines: List[str]
+    wall0: float
+    peak_workers: int = 1
+
+
+class Controller(ZoneController):
+    """The flat single-tier controller — one zone owning everything.
+
+    Kept as the default for tests, simulations and small deployments;
+    behaviourally identical to the pre-hierarchy controller.
+    """
+
+    def __init__(
+        self,
+        name: str = "perfsight-controller",
+        max_workers: int = DEFAULT_MAX_WORKERS,
+    ) -> None:
+        super().__init__(name=name, max_workers=max_workers)
+
+
+@dataclass
+class ZoneRecord:
+    """The root tier's entire knowledge of one zone — scalars only."""
+
+    zone: str
+    #: Last accepted report sequence (replays at or below are dropped).
+    last_seq: int = 0
+    #: Latest accepted roll-up, or None before the first report.
+    latest: Optional["object"] = None
+    reports_accepted: int = 0
+    reports_dropped: int = 0
+    subscribed: bool = False
+
+
+class FleetController:
+    """The root of the hierarchy: hash ring + zone roll-ups, no mirrors.
+
+    Holds (a) the consistent-hash ring assigning machines to zones,
+    rebalancing on zone join/leave, and (b) the latest
+    :class:`~repro.core.diagnosis.report.ZoneReport` per zone, merged
+    on demand into a :class:`~repro.core.diagnosis.report.FleetRollup`.
+    It deliberately has no ``register_agent``: per-machine time series
+    and agent handles stop at the zone tier, which is what bounds the
+    root's memory to O(machines) scalars rather than O(machines ×
+    elements × history).
+    """
+
+    def __init__(
+        self,
+        name: str = "perfsight-fleet",
+        replicas: int = DEFAULT_REPLICAS,
+    ) -> None:
+        self.name = name
+        self.ring = HashRing(replicas)
+        self._zones: Dict[str, ZoneRecord] = {}
+        self._machines: List[str] = []  # names only — never handles
+        self._lock = threading.Lock()
+
+    # -- membership and shard ownership ------------------------------------------
+
+    def zones(self) -> List[str]:
+        with self._lock:
+            return sorted(self._zones)
+
+    def fleet_machines(self) -> List[str]:
+        with self._lock:
+            return sorted(self._machines)
+
+    def track_machines(self, machine_names: Iterable[str]) -> None:
+        """Tell the root which machine *names* exist (strings only)."""
+        with self._lock:
+            known = set(self._machines)
+            for name in machine_names:
+                if name not in known:
+                    self._machines.append(name)
+                    known.add(name)
+
+    def register_zone(
+        self, zone: str
+    ) -> Dict[str, Tuple[Optional[str], Optional[str]]]:
+        """Add a zone to the ring; returns the shard moves it causes.
+
+        The moves map (machine -> (old zone, new zone)) is what the
+        deployment layer acts on: each moved machine's agent handle is
+        unregistered from its old :class:`ZoneController` and
+        registered with the new one.  Consistent hashing keeps the map
+        to ~1/n of the fleet.
+        """
+        before = self._assignment()
+        with self._lock:
+            if zone in self._zones:
+                raise ValueError(f"zone {zone!r} already registered")
+            self._zones[zone] = ZoneRecord(zone=zone)
+        self.ring.add_node(zone)
+        moves = moved_keys(before, self._assignment())
+        obs.event(
+            "fleet.zone_joined", obs.INFO,
+            zone=zone, moves=len(moves), zones=len(self._zones),
+        )
+        return moves
+
+    def remove_zone(
+        self, zone: str
+    ) -> Dict[str, Tuple[Optional[str], Optional[str]]]:
+        """Drop a zone from the ring; returns the shard moves it causes."""
+        before = self._assignment()
+        with self._lock:
+            if zone not in self._zones:
+                raise KeyError(f"zone {zone!r} is not registered")
+            del self._zones[zone]
+        self.ring.remove_node(zone)
+        moves = moved_keys(before, self._assignment())
+        obs.event(
+            "fleet.zone_left", obs.WARNING,
+            zone=zone, moves=len(moves), zones=len(self._zones),
+        )
+        return moves
+
+    def _assignment(self) -> Dict[str, str]:
+        if not len(self.ring):
+            return {}
+        return self.ring.assign(self.fleet_machines())
+
+    def zone_for(self, machine_name: str) -> str:
+        """The zone currently owning a machine."""
+        return self.ring.node_for(machine_name)
+
+    def shards(self) -> Dict[str, List[str]]:
+        """zone -> sorted machines it currently owns."""
+        return self.ring.shards(self.fleet_machines())
+
+    # -- the ZONE_SUBSCRIBE / ZONE_REPORT plane -----------------------------------
+
+    def subscribe_zone(self, zone: str) -> Dict[str, int]:
+        """A zone announcing it will push reports; returns the ack floor.
+
+        Idempotent: re-subscribing (a zone reconnecting after a network
+        blip) just re-reads the floor, so the zone knows which report
+        sequences the root has already accepted.
+        """
+        with self._lock:
+            record = self._zones.get(zone)
+            if record is None:
+                raise KeyError(f"zone {zone!r} is not registered")
+            record.subscribed = True
+            return {"zone_seq": record.last_seq}
+
+    def ingest_zone_report(self, report) -> bool:
+        """Accept one pushed zone roll-up; False for a stale replay.
+
+        The idempotency contract behind OP_ZONE_REPORT's membership in
+        the retry-safe op set: a duplicate delivery (client retry after
+        a lost response) carries the same ``seq`` and is dropped here
+        without disturbing the accepted state.
+        """
+        with self._lock:
+            record = self._zones.get(report.zone)
+            if record is None:
+                raise KeyError(f"zone {report.zone!r} is not registered")
+            if report.seq <= record.last_seq:
+                record.reports_dropped += 1
+                obs.counter(ZONE_REPORTS_METRIC, zone=report.zone, ok="replay")
+                return False
+            record.last_seq = report.seq
+            record.latest = report
+            record.reports_accepted += 1
+        obs.counter(ZONE_REPORTS_METRIC, zone=report.zone, ok="true")
+        return True
+
+    def latest_report(self, zone: str):
+        with self._lock:
+            record = self._zones.get(zone)
+            if record is None:
+                raise KeyError(f"zone {zone!r} is not registered")
+            return record.latest
+
+    def zone_record(self, zone: str) -> ZoneRecord:
+        with self._lock:
+            try:
+                return self._zones[zone]
+            except KeyError:
+                raise KeyError(f"zone {zone!r} is not registered") from None
+
+    # -- fleet merge ---------------------------------------------------------------
+
+    def rollup(self):
+        """Merge the latest report of every zone into a fleet view."""
+        from repro.core.diagnosis.report import FleetRollup
+
+        with self._lock:
+            latest = {
+                z: r.latest for z, r in self._zones.items() if r.latest is not None
+            }
+        window_s = max((r.window_s for r in latest.values()), default=0.0)
+        return FleetRollup(window_s=window_s, zones=latest)

@@ -11,10 +11,10 @@ say so.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.diagnosis.states import MiddleboxState
-from repro.core.health import DataQuality
+from repro.core.health import HEALTHY, DataQuality, count_states, merge_state_counts, worst_state
 from repro.core.rulebook import Verdict
 
 #: Verdict confidence labels used across the diagnosis reports.
@@ -114,10 +114,23 @@ class FleetDiagnosis:
     wall_s: float = 0.0
     #: Peak concurrent scan workers observed during the fan-out.
     peak_workers: int = 1
+    #: Merge scratch attached by ``Controller.diagnose_fleet``: the
+    #: merged views below are then served from buffers the controller
+    #: reuses across scan rounds instead of being rebuilt per access.
+    #: Valid while this diagnosis is the buffers' current owner; a
+    #: superseded diagnosis transparently falls back to recomputing.
+    buffers: Optional["FleetMergeBuffers"] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _merged(self) -> Optional["FleetMergeBuffers"]:
+        buf = self.buffers
+        return buf if buf is not None and buf.owner is self else None
 
     @property
     def machines(self) -> List[str]:
-        return sorted(self.reports)
+        buf = self._merged()
+        return buf.machines if buf is not None else sorted(self.reports)
 
     def report_for(self, machine: str) -> ContentionReport:
         try:
@@ -128,6 +141,9 @@ class FleetDiagnosis:
     @property
     def degraded_machines(self) -> List[str]:
         """Machines whose verdicts rest on stale or partial counters."""
+        buf = self._merged()
+        if buf is not None:
+            return buf.degraded
         return sorted(m for m, r in self.reports.items() if r.degraded)
 
     @property
@@ -137,6 +153,9 @@ class FleetDiagnosis:
     @property
     def loss_by_machine(self) -> Dict[str, float]:
         """Total ranked packet loss per machine over the shared window."""
+        buf = self._merged()
+        if buf is not None:
+            return buf.loss
         return {
             m: sum(el.loss_pkts for el in r.ranked)
             for m, r in self.reports.items()
@@ -153,6 +172,9 @@ class FleetDiagnosis:
     @property
     def verdicts(self) -> List[Tuple[str, Verdict]]:
         """Every (machine, verdict) pair, machines in sorted order."""
+        buf = self._merged()
+        if buf is not None:
+            return buf.verdicts
         return [(m, v) for m in self.machines for v in self.reports[m].verdicts]
 
     def summary(self) -> str:
@@ -168,6 +190,336 @@ class FleetDiagnosis:
         for machine in sorted(losses, key=lambda m: -losses[m]):
             report = self.reports[machine]
             verdicts = "; ".join(v.describe() for v in report.verdicts)
+            lines.append(
+                f"  {machine}: loss={losses[machine]:.0f}"
+                + (f" -> {verdicts}" if verdicts else " (no verdicts)")
+            )
+        return "\n".join(lines)
+
+
+class FleetMergeBuffers:
+    """Reusable merge scratch for repeated fleet scans.
+
+    ``diagnose_fleet`` runs continuously in a control loop, and the
+    merged views (machine order, per-machine loss, flattened verdict
+    pairs) were being rebuilt from scratch on every property access of
+    every round.  This object bounds those allocations: the controller
+    keeps one instance across rounds and ``merge`` refills the same
+    containers in place — per-machine verdict row buffers are kept
+    keyed by machine and cleared/extended rather than reallocated, so
+    steady-state scans of a stable fleet allocate no new merge lists.
+
+    Ownership: ``merge`` stamps the diagnosis it merged as ``owner``.
+    Views handed to a diagnosis are live references into the buffers;
+    once a later round reuses them, the superseded diagnosis detects
+    the ownership change and recomputes from its own reports instead of
+    reading another round's data.
+    """
+
+    def __init__(self) -> None:
+        self.owner: Optional[FleetDiagnosis] = None
+        self.rounds = 0
+        self.machines: List[str] = []
+        self.degraded: List[str] = []
+        self.loss: Dict[str, float] = {}
+        self.verdicts: List[Tuple[str, Verdict]] = []
+        # machine -> its (machine, verdict) rows, reused across rounds.
+        self._rows: Dict[str, List[Tuple[str, Verdict]]] = {}
+
+    def merge(self, diagnosis: FleetDiagnosis) -> FleetDiagnosis:
+        """Merge ``diagnosis.reports`` into the reused buffers."""
+        reports = diagnosis.reports
+        self.rounds += 1
+        self.machines.clear()
+        self.machines.extend(sorted(reports))
+        self.degraded.clear()
+        self.loss.clear()
+        self.verdicts.clear()
+        for gone in [m for m in self._rows if m not in reports]:
+            del self._rows[gone]
+        for machine in self.machines:
+            report = reports[machine]
+            if report.degraded:
+                self.degraded.append(machine)
+            self.loss[machine] = sum(el.loss_pkts for el in report.ranked)
+            rows = self._rows.get(machine)
+            if rows is None:
+                rows = self._rows[machine] = []
+            rows.clear()
+            rows.extend((machine, v) for v in report.verdicts)
+            self.verdicts.extend(rows)
+        self.owner = diagnosis
+        diagnosis.buffers = self
+        return diagnosis
+
+
+# -- hierarchy roll-ups ---------------------------------------------------------
+#
+# What crosses the zone -> fleet wire.  A ZoneReport is O(machines in
+# the shard) *scalars* — loss totals, Fig-6 rates, health states,
+# verdict tuples — never time series, so the root tier aggregates a
+# whole fleet without materializing any per-machine mirror.
+
+
+def _verdict_to_wire(verdict: Verdict) -> List[Any]:
+    return [
+        verdict.location_class,
+        list(verdict.resources),
+        verdict.scope,
+        list(verdict.secondary_signals),
+    ]
+
+
+def _verdict_from_wire(row: Any) -> Verdict:
+    if not isinstance(row, (list, tuple)) or len(row) != 4:
+        raise ValueError(f"malformed wire verdict: {row!r}")
+    location_class, resources, scope, signals = row
+    return Verdict(
+        str(location_class),
+        [str(r) for r in resources],
+        str(scope),
+        [str(s) for s in signals],
+    )
+
+
+@dataclass(frozen=True)
+class MachineSummary:
+    """One machine's scalar summary inside a :class:`ZoneReport`."""
+
+    machine: str
+    health: str = HEALTHY
+    confidence: str = CONFIDENCE_FULL
+    loss_pkts: float = 0.0
+    throughput_pps: float = 0.0
+    pkt_loss_rate: float = 0.0
+    avg_pkt_size: float = 0.0
+    elements: int = 0
+    missing_elements: int = 0
+    verdicts: Tuple[Verdict, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return self.confidence != CONFIDENCE_FULL
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "machine": self.machine,
+            "health": self.health,
+            "confidence": self.confidence,
+            "loss_pkts": self.loss_pkts,
+            "throughput_pps": self.throughput_pps,
+            "pkt_loss_rate": self.pkt_loss_rate,
+            "avg_pkt_size": self.avg_pkt_size,
+            "elements": self.elements,
+            "missing_elements": self.missing_elements,
+            "verdicts": [_verdict_to_wire(v) for v in self.verdicts],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "MachineSummary":
+        return cls(
+            machine=str(payload["machine"]),
+            health=str(payload.get("health", HEALTHY)),
+            confidence=str(payload.get("confidence", CONFIDENCE_FULL)),
+            loss_pkts=float(payload.get("loss_pkts", 0.0)),
+            throughput_pps=float(payload.get("throughput_pps", 0.0)),
+            pkt_loss_rate=float(payload.get("pkt_loss_rate", 0.0)),
+            avg_pkt_size=float(payload.get("avg_pkt_size", 0.0)),
+            elements=int(payload.get("elements", 0)),
+            missing_elements=int(payload.get("missing_elements", 0)),
+            verdicts=tuple(
+                _verdict_from_wire(v) for v in payload.get("verdicts", ())
+            ),
+        )
+
+
+@dataclass
+class ZoneReport:
+    """One zone's roll-up of its machine shard, pushed to the root.
+
+    ``seq`` increases monotonically per zone; the root treats a report
+    with ``seq <= last seen`` as a retry replay and drops it, which is
+    what makes OP_ZONE_REPORT idempotent under the wire-retry policy.
+    """
+
+    zone: str
+    seq: int
+    window_s: float
+    machines: Dict[str, MachineSummary] = field(default_factory=dict)
+    generated_ts: float = 0.0
+
+    # -- zone-level aggregates (what the root reads most) -----------------
+
+    @property
+    def machine_names(self) -> List[str]:
+        return sorted(self.machines)
+
+    @property
+    def total_loss_pkts(self) -> float:
+        return sum(s.loss_pkts for s in self.machines.values())
+
+    @property
+    def throughput_pps(self) -> float:
+        return sum(s.throughput_pps for s in self.machines.values())
+
+    @property
+    def avg_pkt_size(self) -> float:
+        """Throughput-weighted mean packet size across the shard."""
+        weight = sum(
+            s.throughput_pps for s in self.machines.values() if s.avg_pkt_size > 0
+        )
+        if weight <= 0:
+            return 0.0
+        return (
+            sum(
+                s.avg_pkt_size * s.throughput_pps
+                for s in self.machines.values()
+                if s.avg_pkt_size > 0
+            )
+            / weight
+        )
+
+    @property
+    def health_counts(self) -> Dict[str, int]:
+        return count_states(s.health for s in self.machines.values())
+
+    @property
+    def worst_health(self) -> str:
+        return worst_state(s.health for s in self.machines.values())
+
+    @property
+    def degraded_machines(self) -> List[str]:
+        return sorted(m for m, s in self.machines.items() if s.degraded)
+
+    @property
+    def verdicts(self) -> List[Tuple[str, Verdict]]:
+        return [
+            (m, v) for m in self.machine_names for v in self.machines[m].verdicts
+        ]
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "zone": self.zone,
+            "seq": self.seq,
+            "window_s": self.window_s,
+            "generated_ts": self.generated_ts,
+            "machines": [
+                self.machines[m].to_wire() for m in self.machine_names
+            ],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "ZoneReport":
+        summaries = [
+            MachineSummary.from_wire(row) for row in payload.get("machines", ())
+        ]
+        return cls(
+            zone=str(payload["zone"]),
+            seq=int(payload["seq"]),
+            window_s=float(payload.get("window_s", 0.0)),
+            machines={s.machine: s for s in summaries},
+            generated_ts=float(payload.get("generated_ts", 0.0)),
+        )
+
+
+@dataclass
+class FleetRollup:
+    """The root tier's fleet-wide merge of the latest zone reports.
+
+    Holds one :class:`ZoneReport` per zone — scalars only.  The merged
+    views mirror :class:`FleetDiagnosis` so tests can assert the
+    hierarchy reaches the same verdicts as a flat controller.
+    """
+
+    window_s: float
+    zones: Dict[str, ZoneReport] = field(default_factory=dict)
+
+    @property
+    def zone_names(self) -> List[str]:
+        return sorted(self.zones)
+
+    @property
+    def machines(self) -> List[str]:
+        return sorted(m for z in self.zones.values() for m in z.machines)
+
+    def summary_for(self, machine: str) -> MachineSummary:
+        for zone in self.zones.values():
+            if machine in zone.machines:
+                return zone.machines[machine]
+        raise KeyError(f"no zone reported machine {machine!r}")
+
+    @property
+    def loss_by_machine(self) -> Dict[str, float]:
+        return {
+            m: zone.machines[m].loss_pkts
+            for zone in self.zones.values()
+            for m in zone.machines
+        }
+
+    @property
+    def worst_machine(self) -> Optional[str]:
+        losses = self.loss_by_machine
+        if not losses:
+            return None
+        return max(sorted(losses), key=lambda m: losses[m])
+
+    @property
+    def verdicts(self) -> List[Tuple[str, Verdict]]:
+        """Every (machine, verdict) pair, machines in fleet-sorted order."""
+        pairs: List[Tuple[str, Verdict]] = []
+        for machine in self.machines:
+            pairs.extend(
+                (machine, v) for v in self.summary_for(machine).verdicts
+            )
+        return pairs
+
+    @property
+    def degraded_machines(self) -> List[str]:
+        return sorted(
+            m for z in self.zones.values() for m in z.degraded_machines
+        )
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_machines)
+
+    @property
+    def health_counts(self) -> Dict[str, int]:
+        return merge_state_counts(z.health_counts for z in self.zones.values())
+
+    @property
+    def worst_health(self) -> str:
+        return worst_state(z.worst_health for z in self.zones.values())
+
+    @property
+    def throughput_pps(self) -> float:
+        return sum(z.throughput_pps for z in self.zones.values())
+
+    @property
+    def total_loss_pkts(self) -> float:
+        return sum(z.total_loss_pkts for z in self.zones.values())
+
+    def summary(self) -> str:
+        lines = [
+            f"Fleet roll-up over {len(self.zones)} zone(s), "
+            f"{len(self.machines)} machine(s) ({self.window_s}s window):"
+        ]
+        counts = self.health_counts
+        lines.append(
+            "  health: "
+            + ", ".join(f"{state}={n}" for state, n in counts.items() if n)
+        )
+        if self.degraded:
+            lines.append("  !! DEGRADED on: " + ", ".join(self.degraded_machines))
+        losses = self.loss_by_machine
+        for machine in sorted(losses, key=lambda m: -losses[m]):
+            if losses[machine] <= 0:
+                continue
+            verdicts = "; ".join(
+                v.describe() for v in self.summary_for(machine).verdicts
+            )
             lines.append(
                 f"  {machine}: loss={losses[machine]:.0f}"
                 + (f" -> {verdicts}" if verdicts else " (no verdicts)")

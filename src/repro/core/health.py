@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro import obs
 
@@ -33,6 +33,45 @@ DEGRADED = "degraded"
 DEAD = "dead"
 
 HEALTH_STATES = (HEALTHY, DEGRADED, DEAD)
+
+_STATE_RANK = {state: rank for rank, state in enumerate(HEALTH_STATES)}
+
+
+def count_states(states: Iterable[str]) -> Dict[str, int]:
+    """Histogram of health states, every known state always present.
+
+    The hierarchy's roll-up currency: a zone summarizes its shard as
+    these three integers instead of forwarding per-agent objects, and
+    the fleet tier adds histograms together.
+    """
+    counts = dict.fromkeys(HEALTH_STATES, 0)
+    for state in states:
+        counts[state] = counts.get(state, 0) + 1
+    return counts
+
+
+def merge_state_counts(parts: Iterable[Dict[str, int]]) -> Dict[str, int]:
+    """Sum per-zone state histograms into a fleet histogram."""
+    total = dict.fromkeys(HEALTH_STATES, 0)
+    for part in parts:
+        for state, n in part.items():
+            total[state] = total.get(state, 0) + n
+    return total
+
+
+def worst_state(states: Iterable[str]) -> str:
+    """The most degraded state present (HEALTHY for an empty input).
+
+    Unknown states rank worst: a roll-up must not report a fleet
+    healthier than a tier it failed to understand.
+    """
+    worst = HEALTHY
+    worst_rank = _STATE_RANK[worst]
+    for state in states:
+        rank = _STATE_RANK.get(state, len(HEALTH_STATES))
+        if rank > worst_rank:
+            worst, worst_rank = state, rank
+    return worst
 
 #: Self-observability: every state-machine edge is counted and emitted
 #: as a structured event (severity scales with how bad the new state is).

@@ -8,22 +8,31 @@ deployment path is exercised end-to-end (on localhost) by the
 integration tests.
 """
 
-from repro.core.net.client import AgentUnreachable, RemoteAgentHandle, RetryPolicy
+from repro.core.net.client import (
+    AgentUnreachable,
+    RemoteAgentHandle,
+    RetryPolicy,
+    WireClient,
+    ZoneClient,
+)
 from repro.core.net.protocol import (
     IDEMPOTENT_OPS,
     ProtocolError,
     recv_message,
     send_message,
 )
-from repro.core.net.server import AgentServer
+from repro.core.net.server import AgentServer, FleetServer
 
 __all__ = [
     "AgentServer",
     "AgentUnreachable",
+    "FleetServer",
     "IDEMPOTENT_OPS",
     "ProtocolError",
     "RemoteAgentHandle",
     "RetryPolicy",
+    "WireClient",
+    "ZoneClient",
     "recv_message",
     "send_message",
 ]

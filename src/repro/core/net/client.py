@@ -59,6 +59,8 @@ from repro.core.net.protocol import (
     OP_PING,
     OP_QUERY,
     OP_STACK_ELEMENTS,
+    OP_ZONE_REPORT,
+    OP_ZONE_SUBSCRIBE,
     ProtocolError,
     inject_trace,
     is_binary_frame,
@@ -166,22 +168,27 @@ class _WireConn:
         self.codec: Optional[str] = None
 
 
-class RemoteAgentHandle:
-    """Controller-side proxy for an agent behind an :class:`AgentServer`.
+class WireClient:
+    """Pooled, retrying request/response client for one wire peer.
 
-    Keeps a small pool of connections (``pool_size``) so concurrent
-    callers pipeline against the agent instead of serializing on one
-    socket; each operation is a synchronous request/response exchange on
-    a checked-out connection, governed by the retry policy above.
-    ``sleep``, ``clock`` and ``rng`` are injectable so tests can drive
-    the retry loop deterministically without real waiting; passing
-    ``seed`` instead of ``rng`` makes the backoff jitter reproducible
-    without sharing generator state across handles.
+    The transport core shared by every client in the control plane —
+    the controller's per-agent handle and the zone tier's link to the
+    fleet root: a small connection pool (``pool_size``) so concurrent
+    callers pipeline instead of serializing on one socket, the
+    retry/idempotency loop of :meth:`_exchange` per operation, and lazy
+    per-connection codec negotiation via HELLO.  ``sleep``, ``clock``
+    and ``rng`` are injectable so tests can drive the retry loop
+    deterministically without real waiting; passing ``seed`` instead of
+    ``rng`` makes the backoff jitter reproducible without sharing
+    generator state across handles.
 
-    ``codec="auto"`` (default) negotiates the packed binary BATCH_DELTA
+    ``codec="auto"`` (default) negotiates the packed binary payload
     path per connection and falls back to JSON against old peers;
     ``codec="json"`` never negotiates — the debugging escape hatch.
     """
+
+    #: Label prefix for the default ``name`` (subclasses override).
+    peer_kind = "remote-peer"
 
     def __init__(
         self,
@@ -202,7 +209,7 @@ class RemoteAgentHandle:
             raise ValueError(f"codec must be 'auto' or 'json': {codec!r}")
         self.host = host
         self.port = port
-        self.name = name or f"remote-agent@{host}:{port}"
+        self.name = name or f"{self.peer_kind}@{host}:{port}"
         self.timeout_s = timeout_s
         self.retry = retry if retry is not None else RetryPolicy()
         self.codec = CODEC_JSON if os.environ.get(FORCE_JSON_ENV) else codec
@@ -363,23 +370,17 @@ class RemoteAgentHandle:
                 conn.codec = wire_codec.apply_hello_response(response, conn.schema)
             sp.set("codec", conn.codec)
 
-    # -- AgentHandle interface ---------------------------------------------------------
+    # -- generic peer surface ----------------------------------------------------------
 
     def ping(self) -> str:
         return str(self._call({"op": OP_PING})["agent"])
-
-    def element_ids(self) -> List[str]:
-        return [str(e) for e in self._call({"op": OP_LIST_ELEMENTS})["elements"]]
-
-    def stack_element_ids(self) -> List[str]:
-        return [str(e) for e in self._call({"op": OP_STACK_ELEMENTS})["elements"]]
 
     def hello(self) -> str:
         """Negotiate (on one pooled connection) and report the codec.
 
         Mostly a diagnostics/testing surface: normal operation
-        negotiates lazily inside the first :meth:`collect_blocks` on
-        each connection.
+        negotiates lazily inside the first packed exchange on each
+        connection.
         """
 
         def perform(conn: _WireConn, sent: List[bool]) -> str:
@@ -391,6 +392,32 @@ class RemoteAgentHandle:
             return conn.codec
 
         return self._exchange(OP_HELLO, perform)
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RemoteAgentHandle(WireClient):
+    """Controller-side proxy for an agent behind an :class:`AgentServer`.
+
+    The :class:`WireClient` transport core plus the ``AgentHandle``
+    surface the controller mirrors against: element listings, raw
+    queries, and the BATCH_DELTA collection exchange (packed ``bin1``
+    when negotiated).
+    """
+
+    peer_kind = "remote-agent"
+
+    # -- AgentHandle interface ---------------------------------------------------------
+
+    def element_ids(self) -> List[str]:
+        return [str(e) for e in self._call({"op": OP_LIST_ELEMENTS})["elements"]]
+
+    def stack_element_ids(self) -> List[str]:
+        return [str(e) for e in self._call({"op": OP_STACK_ELEMENTS})["elements"]]
 
     def query(
         self,
@@ -509,8 +536,69 @@ class RemoteAgentHandle:
         blocks, cursor = self.collect_blocks(acked)
         return blocks_to_snapshots(blocks), cursor
 
-    def __enter__(self) -> "RemoteAgentHandle":
-        return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+class ZoneClient(WireClient):
+    """Zone-side link to the fleet root behind a :class:`FleetServer`.
+
+    Speaks the ZONE_SUBSCRIBE / ZONE_REPORT op set: subscribe once to
+    learn the root's accepted-sequence floor, then push roll-ups.  Both
+    ops are idempotent (reports carry the zone's monotonic ``seq``), so
+    the full :class:`WireClient` retry machinery applies — a report
+    whose ack got lost is blindly re-sent and dropped as a replay at
+    the root.  Reports go packed (``bin1`` kind-3 frames) when the
+    connection negotiated it, JSON otherwise.
+    """
+
+    peer_kind = "zone-link"
+
+    def subscribe(self, zone: str) -> int:
+        """Announce the zone; returns the root's last accepted seq."""
+        response = self._call({"op": OP_ZONE_SUBSCRIBE, "zone": zone})
+        return int(response.get("zone_seq", 0))
+
+    def push_report(self, report_wire: Mapping[str, Any]) -> bool:
+        """Push one zone roll-up (wire-dict form); True when accepted.
+
+        False means the root already held this ``seq`` — a replayed
+        retry, or a report the zone rebuilt after a restart with a
+        stale counter.  Either way the root's state is current.
+        """
+
+        def perform(conn: _WireConn, sent: List[bool]) -> bool:
+            if conn.codec is None:
+                if self.codec == CODEC_JSON:
+                    conn.codec = CODEC_JSON
+                else:
+                    self._negotiate(conn, sent)
+                    sent[0] = False  # the report itself not yet sent
+            trace = obs.current_trace()
+            trace_wire = trace.to_wire() if trace is not None else None
+            if conn.codec == CODEC_BIN1:
+                raw = wire_codec.encode_zone_report(
+                    conn.schema, report_wire, trace_wire
+                )
+                send_frame(conn.sock, raw, op=OP_ZONE_REPORT)
+                sent[0] = True
+                # Acks are small and always JSON, even on a binary
+                # connection — same convention as BATCH_DELTA errors.
+                response = parse_json_frame(
+                    recv_frame(conn.sock), op=OP_ZONE_REPORT
+                )
+            else:
+                request: Dict[str, Any] = {
+                    "op": OP_ZONE_REPORT,
+                    "report": dict(report_wire),
+                }
+                if trace_wire is not None:
+                    request["trace"] = trace_wire
+                send_message(conn.sock, request)
+                sent[0] = True
+                response = recv_message(conn.sock)
+            if not response.get("ok"):
+                raise RuntimeError(
+                    f"fleet root {self.name} refused {OP_ZONE_REPORT!r}: "
+                    f"{response.get('error', 'unknown error')}"
+                )
+            return bool(response.get("accepted", True))
+
+        return self._exchange(OP_ZONE_REPORT, perform)

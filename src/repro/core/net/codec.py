@@ -70,6 +70,7 @@ from repro.core.net.protocol import (
     CODEC_JSON,
     OP_BATCH_DELTA,
     OP_HELLO,
+    OP_ZONE_REPORT,
     ProtocolError,
 )
 from repro.core.store import SeriesBlock
@@ -80,19 +81,29 @@ BIN_VERSION = 1
 #: Frame kinds.
 KIND_BATCH_REQUEST = 1
 KIND_BATCH_RESPONSE = 2
+KIND_ZONE_REPORT = 3
 
-#: Dictionary-entry namespaces.
+#: Dictionary-entry namespaces.  ``SPACE_LABEL`` holds the hierarchy's
+#: enumerated strings — zone names, health states, confidence levels,
+#: verdict location classes / scopes / resources / signals — which
+#: repeat across every ZONE_REPORT frame and so cross the wire once
+#: per connection, like element and attr names do.
 SPACE_ELEMENT = 0
 SPACE_ATTR = 1
 SPACE_MACHINE = 2
+SPACE_LABEL = 3
 
 _HEADER = struct.Struct("<BBBB")
 _U16 = struct.Struct("<H")
 _U32 = struct.Struct("<I")
 _I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
 _ID_SEQ = struct.Struct("<Iq")
 _DICT_HEAD = struct.Struct("<BIH")
 _BLOCK_HEAD = struct.Struct("<IIH")
+#: One machine summary's fixed scalar section: health id, confidence
+#: id, four f64 rates, element/missing counts, verdict count.
+_SUMMARY_HEAD = struct.Struct("<IIddddIIH")
 
 #: Precompiled row codecs keyed by attrs-per-row stride.
 _ROW_STRUCTS: Dict[int, struct.Struct] = {}
@@ -171,12 +182,13 @@ class _Table:
 class WireSchema:
     """The per-connection id tables both peers keep in lockstep."""
 
-    __slots__ = ("elements", "attrs", "machines")
+    __slots__ = ("elements", "attrs", "machines", "labels")
 
     def __init__(self) -> None:
         self.elements = _Table()
         self.attrs = _Table()
         self.machines = _Table()
+        self.labels = _Table()
 
     def _space(self, space: int, op: str, offset: int) -> _Table:
         if space == SPACE_ELEMENT:
@@ -185,6 +197,8 @@ class WireSchema:
             return self.attrs
         if space == SPACE_MACHINE:
             return self.machines
+        if space == SPACE_LABEL:
+            return self.labels
         raise ProtocolError(
             f"unknown dictionary namespace {space}", op=op, offset=offset
         )
@@ -194,13 +208,17 @@ class WireSchema:
             "elements": self.elements.to_wire(),
             "attrs": self.attrs.to_wire(),
             "machines": self.machines.to_wire(),
+            "labels": self.labels.to_wire(),
         }
 
     def load_wire(self, raw: Mapping[str, Any]) -> None:
+        # "labels" is absent from pre-hierarchy peers; get() keeps the
+        # HELLO exchange compatible in both directions.
         for key, table in (
             ("elements", self.elements),
             ("attrs", self.attrs),
             ("machines", self.machines),
+            ("labels", self.labels),
         ):
             part = raw.get(key, {})
             if not isinstance(part, Mapping):
@@ -247,6 +265,9 @@ class _Reader:
 
     def i64(self, what: str) -> int:
         return _I64.unpack_from(self.view, self.need(8, what))[0]
+
+    def f64(self, what: str) -> float:
+        return _F64.unpack_from(self.view, self.need(8, what))[0]
 
     def u8(self, what: str) -> int:
         return self.raw[self.need(1, what)]
@@ -506,6 +527,185 @@ def decode_batch_response(schema: WireSchema, raw: bytes) -> BatchPayload:
         blocks.append((element_id, block_machine, attr_names, rows))
     r.done()
     return BatchPayload(machine, cursor, blocks)
+
+
+# -- zone report (zone -> root) --------------------------------------------------
+#
+# Operates on the *wire-dict* form of a zone report (what
+# ``ZoneReport.to_wire()`` produces and ``ZoneReport.from_wire()``
+# consumes) rather than the dataclasses themselves: the diagnosis
+# package imports the controller, which imports the net client, which
+# imports this module — the dict boundary keeps the codec layer free of
+# that cycle.
+
+
+def encode_zone_report(
+    schema: WireSchema,
+    report: Mapping[str, Any],
+    trace_wire: Optional[Mapping[str, str]] = None,
+) -> bytes:
+    """Pack one zone roll-up as ``bin1`` (kind 3).
+
+    Enumerated strings — zone name, health states, confidence levels,
+    verdict vocabulary — ride the connection's label table and cross
+    the wire once; machine names use the machine table.  The per-frame
+    steady state is pure fixed-width scalars.
+    """
+    pending: List[Tuple[int, int, str]] = []
+
+    def ident_for(space: int, table: _Table, name: str) -> int:
+        ident, is_new = table.assign(name)
+        if is_new:
+            pending.append((space, ident, name))
+        return ident
+
+    labels = schema.labels
+    body = bytearray()
+    body += _U32.pack(ident_for(SPACE_LABEL, labels, str(report["zone"])))
+    body += _I64.pack(int(report["seq"]))
+    body += _F64.pack(float(report.get("window_s", 0.0)))
+    body += _F64.pack(float(report.get("generated_ts", 0.0)))
+    machines = list(report.get("machines", ()))
+    body += _U32.pack(len(machines))
+    for summary in machines:
+        verdicts = list(summary.get("verdicts", ()))
+        if len(verdicts) > 0xFFFF:
+            raise ProtocolError(
+                f"too many verdicts for wire: {len(verdicts)}", op=OP_ZONE_REPORT
+            )
+        body += _U32.pack(
+            ident_for(SPACE_MACHINE, schema.machines, str(summary["machine"]))
+        )
+        body += _SUMMARY_HEAD.pack(
+            ident_for(SPACE_LABEL, labels, str(summary.get("health", ""))),
+            ident_for(SPACE_LABEL, labels, str(summary.get("confidence", ""))),
+            float(summary.get("loss_pkts", 0.0)),
+            float(summary.get("throughput_pps", 0.0)),
+            float(summary.get("pkt_loss_rate", 0.0)),
+            float(summary.get("avg_pkt_size", 0.0)),
+            int(summary.get("elements", 0)),
+            int(summary.get("missing_elements", 0)),
+            len(verdicts),
+        )
+        for verdict in verdicts:
+            location_class, resources, scope, signals = verdict
+            body += _U32.pack(ident_for(SPACE_LABEL, labels, str(location_class)))
+            body += _U32.pack(ident_for(SPACE_LABEL, labels, str(scope)))
+            body += _U16.pack(len(resources))
+            for res in resources:
+                body += _U32.pack(ident_for(SPACE_LABEL, labels, str(res)))
+            body += _U16.pack(len(signals))
+            for sig in signals:
+                body += _U32.pack(ident_for(SPACE_LABEL, labels, str(sig)))
+
+    buf = bytearray(_HEADER.pack(BIN_MAGIC, BIN_VERSION, KIND_ZONE_REPORT, 0))
+    if trace_wire:
+        _put_text(buf, json.dumps(trace_wire, separators=(",", ":")))
+    else:
+        buf += _U16.pack(0)
+    buf += _U32.pack(len(pending))
+    for space, ident, name in pending:
+        raw = name.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise ProtocolError(
+                f"name too long for wire: {len(raw)} bytes", op=OP_ZONE_REPORT
+            )
+        buf += _DICT_HEAD.pack(space, ident, len(raw))
+        buf += raw
+    buf += body
+    return bytes(buf)
+
+
+def decode_zone_report(
+    schema: WireSchema, raw: bytes
+) -> Tuple[Dict[str, Any], Optional[Mapping[str, Any]]]:
+    """Unpack a ``bin1`` zone report into (wire dict, trace context)."""
+    r = _Reader(raw, OP_ZONE_REPORT)
+    _check_header(r, KIND_ZONE_REPORT)
+    trace: Optional[Mapping[str, Any]] = None
+    trace_text = r.text("trace context")
+    if trace_text:
+        try:
+            parsed = json.loads(trace_text)
+        except json.JSONDecodeError:
+            parsed = None  # trace is best-effort telemetry, never fatal
+        if isinstance(parsed, Mapping):
+            trace = parsed
+
+    dict_count = r.bound_count(r.u32("dictionary count"), 7, "dictionary")
+    for _ in range(dict_count):
+        at = r.need(7, "dictionary entry")
+        space, ident, name_len = _DICT_HEAD.unpack_from(r.view, at)
+        name_at = r.need(name_len, "dictionary name")
+        try:
+            name = str(r.view[name_at: name_at + name_len], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                f"bad UTF-8 in dictionary name: {exc}", op=r.op, offset=name_at
+            ) from exc
+        schema._space(space, r.op, at).learn(ident, name, r.op, at)
+
+    labels = schema.labels
+    zone = labels.name_of(r.u32("zone id"), r.op, r.pos - 4)
+    seq = r.i64("report seq")
+    if seq < 0:
+        raise r.fail(f"zone report seq must be non-negative, got {seq}")
+    window_s = r.f64("window_s")
+    generated_ts = r.f64("generated_ts")
+    machine_count = r.bound_count(
+        r.u32("machine count"), 4 + _SUMMARY_HEAD.size, "machine summary"
+    )
+    machines: List[Dict[str, Any]] = []
+    for _ in range(machine_count):
+        machine = schema.machines.name_of(r.u32("machine id"), r.op, r.pos - 4)
+        at = r.need(_SUMMARY_HEAD.size, "machine summary")
+        (
+            health_id,
+            confidence_id,
+            loss_pkts,
+            throughput_pps,
+            pkt_loss_rate,
+            avg_pkt_size,
+            elements,
+            missing,
+            verdict_count,
+        ) = _SUMMARY_HEAD.unpack_from(r.view, at)
+        verdicts: List[List[Any]] = []
+        for _ in range(r.bound_count(verdict_count, 12, "verdict")):
+            location_class = labels.name_of(r.u32("verdict location"), r.op, r.pos - 4)
+            scope = labels.name_of(r.u32("verdict scope"), r.op, r.pos - 4)
+            resources = [
+                labels.name_of(r.u32("verdict resource"), r.op, r.pos - 4)
+                for _ in range(r.bound_count(r.u16("resource count"), 4, "resource"))
+            ]
+            signals = [
+                labels.name_of(r.u32("verdict signal"), r.op, r.pos - 4)
+                for _ in range(r.bound_count(r.u16("signal count"), 4, "signal"))
+            ]
+            verdicts.append([location_class, resources, scope, signals])
+        machines.append(
+            {
+                "machine": machine,
+                "health": labels.name_of(health_id, r.op, at),
+                "confidence": labels.name_of(confidence_id, r.op, at),
+                "loss_pkts": loss_pkts,
+                "throughput_pps": throughput_pps,
+                "pkt_loss_rate": pkt_loss_rate,
+                "avg_pkt_size": avg_pkt_size,
+                "elements": elements,
+                "missing_elements": missing,
+                "verdicts": verdicts,
+            }
+        )
+    r.done()
+    report = {
+        "zone": zone,
+        "seq": seq,
+        "window_s": window_s,
+        "generated_ts": generated_ts,
+        "machines": machines,
+    }
+    return report, trace
 
 
 # -- HELLO negotiation ----------------------------------------------------------

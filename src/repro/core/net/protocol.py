@@ -68,6 +68,13 @@ OP_QUERY = "query"
 OP_BATCH_DELTA = "batch_delta"
 OP_HELLO = "hello"
 
+#: Zone -> root ops of the hierarchical control plane.  A zone
+#: SUBSCRIBEs once per connection (learning the root's accepted report
+#: sequence floor), then pushes ZONE_REPORT roll-ups — per-machine
+#: scalars only, never mirror contents.
+OP_ZONE_SUBSCRIBE = "zone_subscribe"
+OP_ZONE_REPORT = "zone_report"
+
 #: Codec names, in client preference order.  ``bin1`` is the packed
 #: binary BATCH_DELTA payload (version 1); ``json`` is the v0 format
 #: every peer speaks.
@@ -86,8 +93,20 @@ FORCE_JSON_ENV = "PERFSIGHT_WIRE_FORCE_JSON"
 #: the mirror dedupes.  QUERY is excluded: it perturbs the agent's
 #: per-query overhead accounting (the Figure 16 surface), so a client
 #: must not replay one it cannot prove went unprocessed.
+#: ZONE_SUBSCRIBE is a pure read of the root's ack floor, and
+#: ZONE_REPORT carries the zone's monotonic report sequence — the root
+#: drops any replayed sequence, so a blind retry after a lost response
+#: cannot double-apply a roll-up.
 IDEMPOTENT_OPS = frozenset(
-    {OP_PING, OP_LIST_ELEMENTS, OP_STACK_ELEMENTS, OP_BATCH_DELTA, OP_HELLO}
+    {
+        OP_PING,
+        OP_LIST_ELEMENTS,
+        OP_STACK_ELEMENTS,
+        OP_BATCH_DELTA,
+        OP_HELLO,
+        OP_ZONE_SUBSCRIBE,
+        OP_ZONE_REPORT,
+    }
 )
 
 #: Optional request field carrying the caller's trace context.

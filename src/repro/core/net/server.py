@@ -43,6 +43,8 @@ from repro.core.net.protocol import (
     OP_PING,
     OP_QUERY,
     OP_STACK_ELEMENTS,
+    OP_ZONE_REPORT,
+    OP_ZONE_SUBSCRIBE,
     FORCE_JSON_ENV,
     ProtocolError,
     TRACE_FIELD,
@@ -355,6 +357,191 @@ class AgentServer:
         self.shutdown()
 
     def __enter__(self) -> "AgentServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+class _FleetRequestHandler(socketserver.BaseRequestHandler):
+    """Serves the zone -> root op set on one connection until it closes.
+
+    Same per-connection codec state as the agent handler: HELLO may
+    negotiate packed ``bin1`` zone-report frames (kind 3), everything
+    else — and every *response*, acks being tiny — stays JSON.
+    """
+
+    def setup(self) -> None:
+        super().setup()
+        self.schema = WireSchema()
+        self.codec = CODEC_JSON  # until HELLO negotiates otherwise
+
+    def handle(self) -> None:
+        fleet = self.server.fleet  # type: ignore[attr-defined]
+        while True:
+            try:
+                raw = recv_frame(self.request)
+            except (ConnectionError, OSError):
+                return
+            except ProtocolError as exc:
+                self._respond({"ok": False, "error": str(exc)})
+                return
+            binary = is_binary_frame(raw)
+            request: dict = {}
+            report_wire: Optional[dict] = None
+            if binary:
+                # The only binary request at the root is ZONE_REPORT.
+                op = OP_ZONE_REPORT
+                try:
+                    report_wire, trace_raw = wire_codec.decode_zone_report(
+                        self.schema, raw
+                    )
+                except ProtocolError as exc:
+                    if not self._respond({"ok": False, "error": str(exc)}):
+                        return
+                    continue
+            else:
+                try:
+                    request = parse_json_frame(raw)
+                except ProtocolError as exc:
+                    self._respond({"ok": False, "error": str(exc)})
+                    return
+                op = str(request.get("op"))
+                trace_raw = request.get(TRACE_FIELD)
+            wall0 = time.perf_counter()
+            with obs.span_from_wire(
+                "wire.serve", trace_raw, op=op, agent=fleet.name
+            ) as sp:
+                try:
+                    if binary:
+                        response = self._ingest(fleet, report_wire)
+                    else:
+                        response = self._dispatch(fleet, request)
+                except Exception as exc:  # surfaced to client, not server
+                    response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+                    sp.set("error", f"{type(exc).__name__}: {exc}")
+                sp.set("ok", bool(response.get("ok")))
+                sp.set("codec", CODEC_BIN1 if binary else self.codec)
+            if obs.enabled():
+                obs.observe(
+                    SERVER_LATENCY_METRIC, time.perf_counter() - wall0, op=op
+                )
+                obs.counter(
+                    SERVER_REQUESTS_METRIC, op=op,
+                    ok="true" if response.get("ok") else "false",
+                )
+            if not self._respond(response):
+                return
+
+    def _respond(self, response: dict) -> bool:
+        try:
+            send_message(self.request, response)
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+    @staticmethod
+    def _ingest(fleet, report_wire: dict) -> dict:
+        # Imported lazily: the diagnosis package (transitively) imports
+        # the net package this module belongs to.
+        from repro.core.diagnosis.report import ZoneReport
+
+        report = ZoneReport.from_wire(report_wire)
+        accepted = fleet.ingest_zone_report(report)
+        return {
+            "ok": True,
+            "accepted": accepted,
+            "zone_seq": fleet.zone_record(report.zone).last_seq,
+        }
+
+    def _dispatch(self, fleet, request: dict) -> dict:
+        op = request.get("op")
+        if op == OP_PING:
+            return {"ok": True, "agent": fleet.name}
+        if op == OP_HELLO:
+            allow_binary = not self.server.force_json  # type: ignore[attr-defined]
+            self.codec = wire_codec.choose_codec(
+                request.get("codecs"), allow_binary=allow_binary
+            )
+            return {
+                "ok": True,
+                "agent": fleet.name,
+                "codec": self.codec,
+                "schema": self.schema.to_wire()
+                if self.codec != CODEC_JSON
+                else {},
+            }
+        if op == OP_ZONE_SUBSCRIBE:
+            zone = str(request.get("zone", ""))
+            return {"ok": True, **fleet.subscribe_zone(zone)}
+        if op == OP_ZONE_REPORT:
+            report_wire = request.get("report")
+            if not isinstance(report_wire, dict):
+                raise ProtocolError(
+                    "zone_report request missing report object", op=OP_ZONE_REPORT
+                )
+            return self._ingest(fleet, report_wire)
+        return {"ok": False, "error": f"unknown op: {op!r}"}
+
+
+class FleetServer:
+    """Runs a :class:`FleetController` behind a localhost TCP endpoint.
+
+    The root tier's wire surface: zones connect with a
+    :class:`~repro.core.net.client.ZoneClient`, subscribe, and push
+    roll-ups.  Same lifecycle, codec pinning and connection-severing
+    semantics as :class:`AgentServer`.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: str = "auto",
+    ) -> None:
+        if codec not in ("auto", CODEC_JSON):
+            raise ValueError(f"codec must be 'auto' or 'json': {codec!r}")
+        self.fleet = fleet
+        self._server = _AgentTCPServer(
+            (host, port), _FleetRequestHandler, bind_and_activate=True
+        )
+        self._server.fleet = fleet  # type: ignore[attr-defined]
+        self._server.force_json = (  # type: ignore[attr-defined]
+            codec == CODEC_JSON or bool(os.environ.get(FORCE_JSON_ENV))
+        )
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._server.server_address  # type: ignore[return-value]
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "FleetServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"fleet-server-{self.fleet.name}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop accepting, sever live connections, release the port."""
+        if self._thread is not None:
+            self._server.shutdown()
+        self._server.close_lingering()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "FleetServer":
         return self.start()
 
     def __exit__(self, *exc) -> None:

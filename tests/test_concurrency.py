@@ -276,3 +276,82 @@ class TestConnectionPool:
         run_threads([worker] * 6)
         assert peak[0] <= 3
         assert f.made <= 3  # never created more than the bound
+
+    def test_reap_closes_outside_pool_lock(self):
+        # A closer that blocks (or re-enters the pool) must not run
+        # under the pool lock, or every concurrent checkout stalls
+        # behind it.  The closer proves the lock is free by acquiring
+        # it non-blocking — which would fail if reaping still closed
+        # inline under ``_cond``.
+        clock = [0.0]
+        lock_was_free = []
+        box = {}
+
+        def close(resource):
+            acquired = box["pool"]._cond.acquire(blocking=False)
+            lock_was_free.append(acquired)
+            if acquired:
+                box["pool"]._cond.release()
+
+        f = CountingFactory()
+        pool = ConnectionPool(
+            f.make, close, max_size=2, max_idle_s=1.0, clock=lambda: clock[0]
+        )
+        box["pool"] = pool
+        a = pool.checkout()
+        pool.checkin(a)
+        clock[0] = 5.0
+        assert pool.reap_idle() == 1  # explicit reap path
+        b = pool.checkout()
+        pool.checkin(b)
+        clock[0] = 10.0
+        pool.checkout()  # opportunistic reap on checkout path
+        assert pool.reaped == 2
+        assert lock_was_free == [True, True]
+
+    def test_reap_racing_checkout_never_hands_out_closed_resource(self):
+        # Regression: expired idle entries must leave the idle list
+        # atomically before their closer runs, so a checkout racing a
+        # reap can never receive a resource that is (or is about to be)
+        # closed.  Hammer the interleaving with a slow closer.
+        class Conn:
+            def __init__(self):
+                self.closed = False
+
+        def close(conn):
+            time.sleep(0.001)  # widen the unhook-to-close window
+            conn.closed = True
+
+        # The cutoff must sit *below* the borrowers' post-checkin pause,
+        # or LIFO reuse re-checks entries out before they ever expire
+        # and the race goes unexercised.
+        pool = ConnectionPool(Conn, close, max_size=4, max_idle_s=0.0002)
+        errors = []
+        stop = threading.Event()
+
+        def borrower():
+            while not stop.is_set():
+                conn = pool.checkout(timeout_s=5.0)
+                if conn.closed:
+                    errors.append("checked out a closed connection")
+                    pool.discard(conn)
+                    return
+                pool.checkin(conn)
+                time.sleep(0.001)  # leave it idle past the cutoff
+
+        def reaper():
+            while not stop.is_set():
+                pool.reap_idle()
+                time.sleep(0.0005)
+
+        threads = [threading.Thread(target=t, daemon=True) for t in
+                   [borrower] * 3 + [reaper] * 2]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5.0)
+            assert not t.is_alive(), "worker thread deadlocked"
+        assert not errors
+        assert pool.reaped > 0  # the race was actually exercised

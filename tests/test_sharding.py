@@ -1,0 +1,87 @@
+"""Unit tests for the consistent-hash shard ring (core/sharding.py)."""
+
+import pytest
+
+from repro.core.sharding import HashRing, moved_keys
+
+MACHINES = [f"machine-{i:03d}" for i in range(200)]
+
+
+def ring_with(*zones, replicas=128):
+    ring = HashRing(replicas=replicas)
+    for zone in zones:
+        ring.add_node(zone)
+    return ring
+
+
+class TestHashRing:
+    def test_empty_ring_refuses_lookup(self):
+        ring = HashRing()
+        with pytest.raises(RuntimeError):
+            ring.node_for("machine-001")
+        with pytest.raises(RuntimeError):
+            ring.assign(MACHINES)
+        assert ring.assign([]) == {}
+        assert len(ring) == 0
+
+    def test_single_node_owns_everything(self):
+        ring = ring_with("z1")
+        assert all(ring.node_for(m) == "z1" for m in MACHINES)
+        assert ring.shards(MACHINES) == {"z1": sorted(MACHINES)}
+
+    def test_assignment_is_deterministic(self):
+        # blake2b-based placement: two independently built rings with
+        # the same nodes agree exactly (builtin hash() would not, under
+        # PYTHONHASHSEED randomization).
+        a = ring_with("z1", "z2", "z3").assign(MACHINES)
+        b = ring_with("z3", "z1", "z2").assign(MACHINES)  # insertion order too
+        assert a == b
+
+    def test_distribution_is_roughly_balanced(self):
+        shards = ring_with("z1", "z2", "z3", "z4").shards(MACHINES)
+        sizes = {zone: len(ms) for zone, ms in shards.items()}
+        assert sum(sizes.values()) == len(MACHINES)
+        # 128 virtual points per node keeps the spread loose but sane:
+        # no zone should hold more than half the fleet or end up empty.
+        assert all(0 < n < len(MACHINES) / 2 for n in sizes.values()), sizes
+
+    def test_join_moves_only_a_minority_of_keys(self):
+        ring = ring_with("z1", "z2", "z3")
+        before = ring.assign(MACHINES)
+        ring.add_node("z4")
+        after = ring.assign(MACHINES)
+        moves = moved_keys(before, after)
+        # Consistent hashing: a joining node takes ~1/n of the keys and
+        # every move lands on the new node — nothing shuffles between
+        # the survivors.
+        assert 0 < len(moves) < len(MACHINES) / 2
+        assert all(new == "z4" for _, new in moves.values())
+
+    def test_leave_moves_only_the_departed_shard(self):
+        ring = ring_with("z1", "z2", "z3", "z4")
+        before = ring.assign(MACHINES)
+        departed = [m for m, z in before.items() if z == "z4"]
+        ring.remove_node("z4")
+        moves = moved_keys(before, ring.assign(MACHINES))
+        assert sorted(moves) == sorted(departed)
+        assert all(old == "z4" and new != "z4" for old, new in moves.values())
+
+    def test_add_is_idempotent_and_remove_raises_on_absent(self):
+        ring = ring_with("z1")
+        ring.add_node("z1")  # no-op, not an error
+        assert len(ring) == 1
+        with pytest.raises(KeyError):
+            ring.remove_node("nope")
+        assert "z1" in ring and "nope" not in ring
+
+    def test_shards_lists_empty_zones(self):
+        shards = ring_with("z1", "z2").shards([])
+        assert shards == {"z1": [], "z2": []}
+
+    def test_moved_keys_covers_appearing_and_disappearing_keys(self):
+        moves = moved_keys({"a": "z1", "b": "z1"}, {"b": "z2", "c": "z1"})
+        assert moves == {
+            "a": ("z1", None),
+            "b": ("z1", "z2"),
+            "c": (None, "z1"),
+        }

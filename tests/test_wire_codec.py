@@ -442,3 +442,62 @@ class TestMirrorEquivalenceAcceptance:
         assert mirror_bin.snapshots_received > 0
         assert dump(mirror_bin.store) == dump(mirror_json.store)
         assert len(mirror_bin.store) == len(agent.store)
+
+
+class TestRestartRenegotiation:
+    def test_rehello_rebuilds_id_tables_after_restart(self, world):
+        """A server restart must force a fresh HELLO, not just a fresh
+        socket: the restarted agent assigns *different* dense ids to the
+        surviving elements (one new element sorts before them), so a
+        client decoding with its stale ``WireSchema`` tables would
+        mis-map every shifted element.  Byte-for-byte store equality
+        after the restart proves the tables were rebuilt."""
+        sim, machine, agent = world
+        agent.poll_once()
+        server = AgentServer(agent).start()
+        host, port = server.address
+        handle = RemoteAgentHandle(host, port, retry=FAST_RETRY)
+        try:
+            assert handle.hello() == CODEC_BIN1
+            blocks, _ = handle.collect_blocks({})
+            assert blocks  # the connection's bin1 tables are now warm
+            # Captured before the world grows: agents list the machine's
+            # elements dynamically, so this is the id order the original
+            # HELLO actually put on the wire.
+            old_ids = agent.element_ids()
+
+            # Restart on the same port with a grown world: VM "a1" adds
+            # an element that sorts before the originals, shifting the
+            # dense id of every element after it in HELLO order.
+            server.shutdown()
+            vm = machine.add_vm("a1", vcpu_cores=1.0)
+            app2 = HttpServer(sim, vm, "app2", cpu_per_byte=1e-9)
+            flow = Flow("rx2", dst_vm="a1", kind="udp")
+            vm.bind_udp(flow, app2.socket)
+            ExternalTrafficSource(
+                sim, "src2", flow, machine.inject, rate_bps=40e6
+            )
+            restarted = Agent(sim, machine)
+            restarted.register(app2)
+            sim.run(0.5)
+            restarted.poll_once()
+            new_ids = restarted.element_ids()
+            shifted = [
+                eid for eid in old_ids
+                if eid in new_ids and old_ids.index(eid) != new_ids.index(eid)
+            ]
+            assert shifted, "restart did not shift any dense ids"
+            server = AgentServer(restarted, host=host, port=port).start()
+
+            # The next exchange rides the retry path onto the new
+            # server; a correct client re-HELLOs and decodes the full
+            # dump against the *new* tables.
+            probe = TimeSeriesStore()
+            blocks, cursor = handle.collect_blocks({})
+            probe.apply_blocks(blocks)
+            assert dump(probe) == dump(restarted.store)
+            assert cursor == restarted.store.cursor()
+            assert handle.hello() == CODEC_BIN1  # still packed, not JSON
+        finally:
+            handle.close()
+            server.shutdown()
