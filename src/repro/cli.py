@@ -10,6 +10,8 @@ Runs the reproduction's experiments and demos from a shell:
 * ``obs``               — self-observability demo: spans/metrics/events
 * ``fleet``             — concurrent fleet collection demo over real TCP
 * ``scale``             — hierarchical control plane demo (zones + root)
+* ``chaos``             — self-healing demo: zone kill/restart + root
+  partition with failover, re-homing and circuit breakers
 * ``list``              — the experiment inventory with paper references
 """
 
@@ -39,6 +41,10 @@ EXPERIMENTS = {
              "aggregators pushing roll-ups to a fleet root over TCP, "
              "rebalance on zone leave, verdicts equal to a flat "
              "controller",
+    "chaos": "self-healing fleet: kill a zone mid-diagnosis, watch the "
+             "root detect it, fail its shard over, re-home agents and "
+             "reconverge to the flat controller's verdicts; then a root "
+             "partition exercises staleness and circuit breakers",
 }
 
 
@@ -582,6 +588,486 @@ def cmd_scale(args: argparse.Namespace) -> int:
     return 0 if result["verdicts_equal_flat"] else 1
 
 
+def _percentiles(values):
+    """Small-sample percentile summary for the failover bench JSON."""
+    if not values:
+        return None
+    vals = sorted(values)
+
+    def at(p: float) -> float:
+        idx = min(len(vals) - 1, max(0, int(round(p / 100.0 * (len(vals) - 1)))))
+        return vals[idx]
+
+    return {"p50": at(50), "p90": at(90), "max": vals[-1], "n": len(vals)}
+
+
+def _run_chaos_scenario(
+    n_machines: int,
+    n_zones: int,
+    window_s: float,
+    arcs: int,
+    out_path: Optional[str] = None,
+):
+    """Kill zones mid-diagnosis; measure the fleet healing itself.
+
+    The self-healing demo: a multi-zone hierarchy runs split-phase
+    diagnosis rounds (one zone report per heartbeat) while a chaos
+    timeline kills a zone mid-scan.  The root's liveness sweep detects
+    the death within the policy deadline, consistent hashing re-homes
+    exactly the dead shard to the survivors, agents consult the root
+    over TCP (ZONE_FOR) for their new push target, and the roll-up
+    reconverges to the flat controller's verdicts.  A restart phase
+    brings a replacement zone up (it resubscribes and fast-forwards
+    past the root's seq floor) and recovery moves the shard home.  A
+    final root-partition arc shows zones going SUSPECT/stale without a
+    failover, and the per-endpoint circuit breakers turning repeated
+    connect failures into microsecond fast-fails.
+
+    Writes time-to-detect / time-to-reconverge percentiles to
+    ``benchmarks/out/BENCH_perf_failover.json`` (or ``out_path``).
+    Prints nothing (``--json`` mode must emit clean JSON).
+    """
+    import json
+    import pathlib
+    import time as _time
+
+    from repro.core.controller import (
+        FleetController,
+        ZoneController,
+        apply_shard_moves,
+    )
+    from repro.core.health import ZoneHealthPolicy
+    from repro.core.net.client import (
+        CIRCUIT_OPEN,
+        AgentUnreachable,
+        CircuitOpenError,
+        CircuitPolicy,
+        RetryPolicy,
+        ZoneClient,
+    )
+    from repro.core.net.server import FleetServer
+    from repro.middleboxes.http import HttpServer
+    from repro.scenarios.common import Harness
+    from repro.simnet.packet import Flow
+    from repro.workloads.faults import (
+        partition_phase,
+        schedule_phases,
+        zone_kill_phase,
+        zone_restart_phase,
+    )
+    from repro.workloads.traffic import ExternalTrafficSource
+
+    if n_machines < 2 or n_zones < 2:
+        raise ValueError("chaos needs at least two machines and two zones")
+    if arcs < 1:
+        raise ValueError("need at least one kill/restart arc")
+
+    heartbeat_s = 2.0 * window_s  # one report round per heartbeat
+    policy = ZoneHealthPolicy(heartbeat_s=heartbeat_s)  # DEAD after 2 beats
+
+    h = Harness(seed=11)
+    for i in range(n_machines):
+        name = f"host-{i:03d}"
+        machine = h.add_machine(name)
+        # Every third machine gets a capped VM: a real individual-scope
+        # bottleneck verdict for the equality checks to bite on.
+        capped = 50e6 if i % 3 == 0 else None
+        vm = machine.add_vm("vm0", vcpu_cores=1.0, vnic_bps=capped)
+        app = HttpServer(h.sim, vm, f"app-{name}", cpu_per_byte=1e-9)
+        flow = Flow(f"rx-{name}", dst_vm="vm0", kind="udp")
+        vm.bind_udp(flow, app.socket)
+        ExternalTrafficSource(
+            h.sim, f"src-{name}", flow, machine.inject,
+            rate_bps=200e6 if capped else 100e6,
+        )
+    h.advance(0.5)
+
+    fleet = FleetController(
+        "chaos-root", zone_policy=policy, clock=lambda: h.sim.now
+    )
+    fleet.track_machines(h.agents)
+
+    class _ZonePushTarget:
+        """Stable push endpoint for one zone name across crash/restart.
+
+        Agents keep this object as their push target while the zone
+        behind it is killed and replaced.  A dead zone refuses pushes
+        the way a dead TCP peer refuses connects, and a zone that no
+        longer owns the machine refuses too — both feed the agent's
+        backoff/re-home loop.
+        """
+
+        def __init__(self, name: str, zone) -> None:
+            self.name = name
+            self.zone = zone
+            self.alive = True
+
+        def ingest_push(self, machine, blocks, cursor=None):
+            if not self.alive:
+                raise ConnectionError(f"zone {self.name} is down")
+            try:
+                return self.zone.ingest_push(machine, blocks, cursor)
+            except KeyError:
+                raise ConnectionError(
+                    f"zone {self.name} no longer owns {machine}"
+                ) from None
+
+    zones = {}
+    targets = {}
+    for z in range(n_zones):
+        zone_name = f"zone-{z}"
+        fleet.register_zone(zone_name)
+        zones[zone_name] = ZoneController(zone_name)
+        targets[zone_name] = _ZonePushTarget(zone_name, zones[zone_name])
+    shard_sizes = {}
+    for zone_name, machines in fleet.shards().items():
+        shard_sizes[zone_name] = len(machines)
+        for name in machines:
+            zones[zone_name].register_local_agent(h.agents[name])
+
+    reporting = set(zones)
+    link_retry = RetryPolicy(
+        max_attempts=2, base_delay_s=0.005, max_delay_s=0.02, deadline_s=2.0
+    )
+    # Two-outcome window: one exhausted retry ladder after a success is
+    # enough to trip — each zone pushes only once per heartbeat, so a
+    # wider window would dilute the partition below the threshold.
+    breaker = CircuitPolicy(
+        window=2, failure_threshold=0.5, min_calls=1, cooldown_s=0.75
+    )
+    push_backoff = RetryPolicy(
+        max_attempts=1, base_delay_s=0.05, max_delay_s=0.4, deadline_s=60.0
+    )
+
+    stats = {"reports_accepted": 0, "report_failures": 0, "slow_fail_s": None}
+    arcs_out = []
+    partition_out = {}
+
+    with FleetServer(fleet) as server:
+        host, port = server.address
+        links = {
+            z: ZoneClient(
+                host, port, name=f"{z}-link", retry=link_retry, circuit=breaker
+            )
+            for z in zones
+        }
+        consult = ZoneClient(host, port, name="rehome-consult", retry=link_retry)
+        try:
+            for z in links:
+                links[z].subscribe(z)
+
+            def resolver(machine: str):
+                """The re-homing consult: ask the root's ring over TCP."""
+                return targets[consult.zone_for(machine)]
+
+            for zone_name in zones:
+                for name in zones[zone_name].machines():
+                    h.agents[name].start_pushing(
+                        targets[zone_name], period_s=0.05,
+                        resolver=resolver, rehome_after=2, retry=push_backoff,
+                    )
+            h.advance(0.3)
+
+            def run_round():
+                """One heartbeat: scan, report over TCP, sweep liveness."""
+                live = sorted(reporting)
+                flat_scan = h.controller.begin_fleet_scan(window_s)
+                zone_scans = {
+                    z: zones[z].begin_fleet_scan(window_s) for z in live
+                }
+                h.advance(window_s)  # chaos phases fire inside here
+                flat = h.controller.finish_fleet_scan(flat_scan)
+                for z, scan in zone_scans.items():
+                    if z not in reporting:
+                        continue  # killed mid-scan: its diagnosis died too
+                    report = zones[z].build_zone_report(
+                        zones[z].finish_fleet_scan(scan)
+                    )
+                    try:
+                        if links[z].push_report(report.to_wire()):
+                            stats["reports_accepted"] += 1
+                    except AgentUnreachable as exc:
+                        stats["report_failures"] += 1
+                        if not isinstance(exc, CircuitOpenError):
+                            stats["slow_fail_s"] = exc.elapsed_s
+                h.advance(heartbeat_s - window_s)  # agents re-home/back off
+                check = fleet.check_zones()
+                if check.moves:
+                    apply_shard_moves(
+                        check.moves, zones, handle_for=lambda m: h.agents[m]
+                    )
+                rollup = fleet.rollup()
+                return flat, check, rollup, rollup.verdicts == flat.verdicts
+
+            # Warmup: the verdict-equality baseline before any chaos.
+            baseline_equal = False
+            for _ in range(2):
+                _, _, _, baseline_equal = run_round()
+
+            for arc in range(arcs):
+                victim = f"zone-{arc % n_zones}"
+                record = {
+                    "victim": victim,
+                    "shard": len(zones[victim].machines()),
+                }
+
+                t_kill = h.sim.now + window_s / 2
+
+                def kill(victim=victim):
+                    targets[victim].alive = False
+                    reporting.discard(victim)
+                    links[victim].close()  # a crash severs its connections
+
+                schedule_phases(
+                    h.sim, [zone_kill_phase(t_kill, kill, zone=victim)]
+                )
+
+                detect = None
+                moves_ok = False
+                for _ in range(4):
+                    _, check, _, _ = run_round()
+                    if victim in check.failed_over:
+                        detect = check.now - t_kill
+                        moves_ok = all(
+                            old == victim
+                            for old, _new in check.moves.values()
+                        )
+                        break
+                record["time_to_detect_s"] = detect
+                record["detect_heartbeats"] = (
+                    detect / heartbeat_s if detect is not None else None
+                )
+                record["only_dead_shard_moved"] = moves_ok
+
+                reconverge = None
+                if detect is not None:
+                    for _ in range(6):
+                        _, _, rollup, equal = run_round()
+                        if equal and len(rollup.machines) == n_machines:
+                            reconverge = h.sim.now - t_kill
+                            break
+                record["time_to_reconverge_s"] = reconverge
+
+                # Restart: a *new* zone process resubscribes, learns the
+                # root's seq floor and earns its way back onto the ring.
+                t_restart = h.sim.now + window_s / 2
+
+                def restart(victim=victim):
+                    zc = ZoneController(victim)
+                    zc.resume_reporting_from(links[victim].subscribe(victim))
+                    zones[victim] = zc
+                    targets[victim].zone = zc
+                    targets[victim].alive = True
+                    reporting.add(victim)
+
+                schedule_phases(
+                    h.sim,
+                    [zone_restart_phase(t_restart, restart, zone=victim)],
+                )
+
+                recover = None
+                if reconverge is not None:
+                    for _ in range(8):
+                        _, check, rollup, equal = run_round()
+                        if (
+                            fleet.zone_record(victim).active
+                            and equal
+                            and len(rollup.machines) == n_machines
+                        ):
+                            recover = h.sim.now - t_restart
+                            break
+                record["time_to_recover_s"] = recover
+                record["healed"] = recover is not None
+                arcs_out.append(record)
+
+            # Partition arc: root alive but unreachable for under one
+            # liveness deadline — zones go stale (SUSPECT), breakers trip
+            # and fast-fail, then everything heals without a failover.
+            t_p = h.sim.now + window_s / 2
+            schedule_phases(
+                h.sim,
+                [
+                    partition_phase(
+                        t_p, t_p + 0.6 * heartbeat_s, server, zone="root"
+                    )
+                ],
+            )
+            _, _, rollup, _ = run_round()  # report pushes hit the partition
+            partition_out["stale_zones"] = rollup.stale_zones
+            opened = [
+                z for z in sorted(links)
+                if links[z].circuit.state == CIRCUIT_OPEN
+            ]
+            partition_out["breakers_open"] = opened
+            fast = None
+            if opened:
+                t0 = _time.perf_counter()
+                try:
+                    links[opened[0]].subscribe(opened[0])
+                except CircuitOpenError:
+                    fast = _time.perf_counter() - t0
+                except AgentUnreachable:
+                    pass  # cooldown already lapsed into a live probe
+            partition_out["fast_fail_s"] = fast
+            partition_out["slow_fail_s"] = stats["slow_fail_s"]
+            _time.sleep(breaker.cooldown_s + 0.1)  # admit half-open probes
+            _, check, rollup, equal = run_round()
+            partition_out["healed_without_failover"] = (
+                not check.failed_over and equal and not rollup.stale_zones
+            )
+            partition_out["circuit"] = {
+                z: {
+                    "state": links[z].circuit.state,
+                    "opens": links[z].circuit.opens,
+                    "fast_fails": links[z].circuit.fast_fails,
+                }
+                for z in sorted(links)
+            }
+        finally:
+            for agent in h.agents.values():
+                if agent.pushing:
+                    agent.stop_pushing()
+            consult.close()
+            for link in links.values():
+                link.close()
+
+    detects = [
+        a["time_to_detect_s"] for a in arcs_out
+        if a["time_to_detect_s"] is not None
+    ]
+    reconverges = [
+        a["time_to_reconverge_s"] for a in arcs_out
+        if a["time_to_reconverge_s"] is not None
+    ]
+    recovers = [
+        a["time_to_recover_s"] for a in arcs_out
+        if a["time_to_recover_s"] is not None
+    ]
+    detect_in_bound = bool(detects) and all(
+        d <= 2.0 * heartbeat_s + 1e-9 for d in detects
+    )
+    ok = (
+        baseline_equal
+        and len(detects) == len(arcs_out)
+        and len(reconverges) == len(arcs_out)
+        and len(recovers) == len(arcs_out)
+        and all(a["only_dead_shard_moved"] for a in arcs_out)
+        and detect_in_bound
+        and bool(partition_out.get("healed_without_failover"))
+    )
+    bench = {
+        "bench": "perf_failover",
+        "machines": n_machines,
+        "zones": n_zones,
+        "window_s": window_s,
+        "heartbeat_s": heartbeat_s,
+        "arcs": len(arcs_out),
+        "time_to_detect_s": _percentiles(detects),
+        "time_to_reconverge_s": _percentiles(reconverges),
+        "time_to_recover_s": _percentiles(recovers),
+        "detect_within_2_heartbeats": detect_in_bound,
+        "ok": ok,
+    }
+    out = (
+        pathlib.Path(out_path)
+        if out_path
+        else pathlib.Path("benchmarks/out/BENCH_perf_failover.json")
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+
+    return {
+        "machines": n_machines,
+        "zones": n_zones,
+        "heartbeat_s": heartbeat_s,
+        "shard_sizes": shard_sizes,
+        "baseline_equal_flat": baseline_equal,
+        "arcs": arcs_out,
+        "partition": partition_out,
+        "reports": {
+            "accepted": stats["reports_accepted"],
+            "failed": stats["report_failures"],
+        },
+        "push": {
+            "pushes": sum(a.total_pushes for a in h.agents.values()),
+            "rows": sum(a.total_pushed_rows for a in h.agents.values()),
+            "backoff_skips": sum(
+                a.total_push_backoff_skips for a in h.agents.values()
+            ),
+            "rehomes": sum(a.total_rehomes for a in h.agents.values()),
+        },
+        "bench_path": str(out),
+        "bench": bench,
+        "ok": ok,
+    }
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import json
+
+    machines = min(args.machines, 8) if args.quick else args.machines
+    arcs = 1 if args.quick else args.arcs
+    result = _run_chaos_scenario(
+        machines, args.zones, args.window_s, arcs, out_path=args.out
+    )
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+        return 0 if result["ok"] else 1
+
+    print(
+        f"== self-healing fleet: {result['machines']} machines across "
+        f"{result['zones']} zone(s), heartbeat {result['heartbeat_s']}s"
+    )
+    print(f"  shard sizes: {result['shard_sizes']}")
+    equal = "EQUAL" if result["baseline_equal_flat"] else "MISMATCH"
+    print(f"  baseline verdicts vs flat controller: {equal}")
+    for i, arc in enumerate(result["arcs"]):
+        print(f"\n== kill/restart arc {i}: victim {arc['victim']}")
+        if arc["time_to_detect_s"] is None:
+            print("  !! zone death never detected")
+            continue
+        print(
+            f"  detected DEAD in {arc['time_to_detect_s']:.2f}s "
+            f"({arc['detect_heartbeats']:.2f} heartbeats)"
+        )
+        shard = "only the dead shard moved" if arc["only_dead_shard_moved"] \
+            else "!! machines outside the dead shard moved"
+        print(f"  failover: {arc['shard']} machine(s) re-homed — {shard}")
+        if arc["time_to_reconverge_s"] is not None:
+            print(
+                f"  reconverged (verdicts EQUAL flat, full coverage) in "
+                f"{arc['time_to_reconverge_s']:.2f}s"
+            )
+        else:
+            print("  !! never reconverged after failover")
+        if arc["time_to_recover_s"] is not None:
+            print(
+                f"  restart healed the ring in {arc['time_to_recover_s']:.2f}s"
+            )
+        else:
+            print("  !! restarted zone never recovered")
+    p = result["partition"]
+    print("\n== root partition arc (alive but unreachable)")
+    print(f"  stale zones while partitioned: {p.get('stale_zones')}")
+    print(f"  circuit breakers opened: {p.get('breakers_open')}")
+    if p.get("fast_fail_s") is not None and p.get("slow_fail_s"):
+        print(
+            f"  fast-fail {p['fast_fail_s'] * 1e3:.2f} ms vs "
+            f"{p['slow_fail_s'] * 1e3:.1f} ms for the full retry ladder"
+        )
+    healed = "healed without failover" if p.get("healed_without_failover") \
+        else "!! did not heal cleanly"
+    print(f"  after heal: {healed}")
+    pu = result["push"]
+    print(
+        f"\n  agents: {pu['pushes']} push(es), {pu['rehomes']} re-home(s), "
+        f"{pu['backoff_skips']} backoff skip(s)"
+    )
+    print(f"  bench written: {result['bench_path']}")
+    print(f"\n== {'RECONVERGED' if result['ok'] else 'FAILED TO SELF-HEAL'}")
+    return 0 if result["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
@@ -660,6 +1146,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one JSON document instead of the human-readable report",
     )
     p_scale.set_defaults(fn=cmd_scale)
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="self-healing fleet demo: kill a zone mid-diagnosis over "
+        "TCP, failover + re-homing + reconvergence, then a root "
+        "partition with circuit breakers",
+    )
+    p_chaos.add_argument(
+        "--machines", type=int, default=12, help="fleet size (default 12)"
+    )
+    p_chaos.add_argument(
+        "--zones", type=int, default=4, help="zone count (default 4)"
+    )
+    p_chaos.add_argument(
+        "--window-s", type=float, default=0.25,
+        help="diagnosis window in simulated seconds; the liveness "
+        "heartbeat is twice this (default 0.25)",
+    )
+    p_chaos.add_argument(
+        "--arcs", type=int, default=3,
+        help="kill/restart arcs to run (default 3)",
+    )
+    p_chaos.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: one arc, at most 8 machines",
+    )
+    p_chaos.add_argument(
+        "--out", default=None,
+        help="bench JSON path (default benchmarks/out/"
+        "BENCH_perf_failover.json)",
+    )
+    p_chaos.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document instead of the human-readable report",
+    )
+    p_chaos.set_defaults(fn=cmd_chaos)
     return parser
 
 

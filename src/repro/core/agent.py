@@ -21,10 +21,20 @@ usage as a function of poll frequency).
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import time
-from typing import Dict, Iterable, List, Mapping, Optional, Protocol, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+)
 
 from repro import obs
 from repro.core.channels import Channel, ChannelError, ChannelTimeout
@@ -49,6 +59,49 @@ DEFAULT_PUSH_PERIOD_S = 0.1
 PUSH_PERIOD_ENV = "PERFSIGHT_PUSH_PERIOD_S"
 PUSH_DISABLE_ENV = "PERFSIGHT_PUSH_DISABLE"
 
+#: Consecutive failed pushes before the agent asks its resolver (when
+#: it has one) whether shard ownership moved.  Matches the root's
+#: default dead_after: by the time the agent gives up on its zone, the
+#: root has usually failed it over.
+DEFAULT_REHOME_AFTER = 3
+
+#: Backoff schedule for a failing push target — created lazily because
+#: :class:`~repro.core.net.client.RetryPolicy` lives in the net package
+#: and the net server imports this module.  Only ``backoff_s`` is used
+#: (the push loop owns its own cadence, there is no retry budget to
+#: exhaust — the delta simply stays pending).
+_DEFAULT_PUSH_RETRY = None
+
+
+def _default_push_retry():
+    global _DEFAULT_PUSH_RETRY
+    if _DEFAULT_PUSH_RETRY is None:
+        from repro.core.net.client import RetryPolicy
+
+        _DEFAULT_PUSH_RETRY = RetryPolicy(max_attempts=1)
+    return _DEFAULT_PUSH_RETRY
+
+
+def _env_float(name: str, default: float) -> float:
+    """Parse a positive-float env knob, failing loudly at startup.
+
+    A bad value raises ``ValueError`` at parse time — when the operator
+    who exported it is still watching — instead of surfacing later as a
+    crashed push thread or a nonsense cadence.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a number (seconds), got {raw!r}"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive number, got {raw!r}")
+    return value
+
 #: Self-observability names.  ``agent`` labels are fleet-bounded (one
 #: value per server), matching the cardinality rules in DESIGN.md.
 SWEEP_DURATION_METRIC = "perfsight_agent_sweep_duration_seconds"
@@ -56,6 +109,8 @@ SWEEP_FAULTS_METRIC = "perfsight_agent_sweep_faults_total"
 STORE_SNAPSHOTS_METRIC = "perfsight_agent_store_snapshots"
 QUERIES_METRIC = "perfsight_agent_queries_total"
 PUSHES_METRIC = "perfsight_agent_pushes_total"
+PUSH_FAILURES_METRIC = "perfsight_push_consecutive_failures"
+REHOMES_METRIC = "perfsight_agent_rehomes_total"
 
 
 class PushTarget(Protocol):
@@ -109,6 +164,18 @@ class Agent:
         self.total_push_skips = 0
         self.total_push_errors = 0
         self.total_pushed_rows = 0
+        # Self-healing push state: exponential backoff against a dead
+        # target, and the resolver that re-homes the agent when the
+        # root has reassigned its shard.
+        self._push_retry = None  # lazily _default_push_retry()
+        self._push_resolver: Optional[
+            Callable[[str], Optional[PushTarget]]
+        ] = None
+        self._rehome_after = DEFAULT_REHOME_AFTER
+        self._push_backoff_until = 0.0
+        self.push_consecutive_failures = 0
+        self.total_push_backoff_skips = 0
+        self.total_rehomes = 0
 
     # -- element discovery -------------------------------------------------------
 
@@ -305,6 +372,9 @@ class Agent:
         self,
         zone: PushTarget,
         period_s: Optional[float] = None,
+        resolver: Optional[Callable[[str], Optional[PushTarget]]] = None,
+        rehome_after: int = DEFAULT_REHOME_AFTER,
+        retry: Optional["object"] = None,
     ) -> Optional[PeriodicHandle]:
         """Push changed delta blocks to the zone tier on a cadence.
 
@@ -317,21 +387,39 @@ class Agent:
         mirror's per-sequence dedup makes the overlap harmless.
 
         ``period_s`` defaults to :data:`DEFAULT_PUSH_PERIOD_S`, or the
-        :data:`PUSH_PERIOD_ENV` env override.  With
-        :data:`PUSH_DISABLE_ENV` set, this is a documented no-op
-        returning None — deployments drop to poll-only without code
-        changes.
+        :data:`PUSH_PERIOD_ENV` env override (validated at parse time —
+        a non-numeric or non-positive value raises ``ValueError`` here,
+        not later in the push thread).  With :data:`PUSH_DISABLE_ENV`
+        set, this is a documented no-op returning None — deployments
+        drop to poll-only without code changes.
+
+        Failure handling: consecutive failed pushes back the loop off
+        exponentially (``retry.backoff_s`` with the simulator's RNG for
+        jitter — ticks inside the backoff window skip without touching
+        the network), and after ``rehome_after`` consecutive failures
+        the optional ``resolver`` is asked which zone owns this machine
+        now.  A resolver answering with a *different* target re-homes
+        the agent: the cursor resets so the full retained history
+        replays at the new zone's empty mirror (per-sequence dedup makes
+        any overlap with the old zone harmless — no loss, no
+        duplicates).
         """
         if os.environ.get(PUSH_DISABLE_ENV):
             return None
         if period_s is None:
-            env = os.environ.get(PUSH_PERIOD_ENV)
-            period_s = float(env) if env else DEFAULT_PUSH_PERIOD_S
+            period_s = _env_float(PUSH_PERIOD_ENV, DEFAULT_PUSH_PERIOD_S)
         if period_s <= 0:
             raise ValueError(f"push period must be positive: {period_s!r}")
+        if rehome_after < 1:
+            raise ValueError(f"rehome_after must be >= 1: {rehome_after!r}")
         if self._push_handle is not None and self._push_handle.active:
             raise RuntimeError(f"agent {self.name!r} is already pushing")
         self._push_target = zone
+        self._push_resolver = resolver
+        self._rehome_after = rehome_after
+        self._push_retry = retry if retry is not None else _default_push_retry()
+        self._push_backoff_until = 0.0
+        self.push_consecutive_failures = 0
         self.push_period_s = period_s
         self.push_once()
         self._push_handle = self.sim.schedule_every(period_s, self.push_once)
@@ -342,6 +430,9 @@ class Agent:
             self._push_handle.cancel()
             self._push_handle = None
         self._push_target = None
+        self._push_resolver = None
+        self._push_backoff_until = 0.0
+        self.push_consecutive_failures = 0
         self.push_period_s = None
 
     @property
@@ -354,9 +445,17 @@ class Agent:
         Failures of the push path (zone unreachable, socket errors) are
         tolerated exactly like poll-path failures: counted, and the
         delta stays pending for the next tick or the poll fallback.
+        Consecutive failures additionally open a jittered exponential
+        backoff window — ticks inside it return without touching the
+        network, so a dead zone is not hammered at the push cadence —
+        and eventually trigger the re-homing consult (see
+        :meth:`start_pushing`).
         """
         zone = self._push_target
         if zone is None:
+            return 0
+        if self.sim.now < self._push_backoff_until:
+            self.total_push_backoff_skips += 1
             return 0
         if not self.polling:
             self.poll_once()
@@ -370,13 +469,62 @@ class Agent:
             zone.ingest_push(self.machine.name, blocks, cursor)
         except (ConnectionError, OSError):
             self.total_push_errors += 1
+            self.push_consecutive_failures += 1
             obs.counter(PUSHES_METRIC, agent=self.name, ok="false")
+            obs.gauge(
+                PUSH_FAILURES_METRIC,
+                float(self.push_consecutive_failures),
+                agent=self.name,
+            )
+            retry = self._push_retry or _default_push_retry()
+            self._push_backoff_until = self.sim.now + retry.backoff_s(
+                self.push_consecutive_failures - 1, self.sim.rng
+            )
+            if (
+                self._push_resolver is not None
+                and self.push_consecutive_failures >= self._rehome_after
+            ):
+                self._rehome()
             return 0
         self._push_acked = cursor
+        if self.push_consecutive_failures:
+            self.push_consecutive_failures = 0
+            obs.gauge(PUSH_FAILURES_METRIC, 0.0, agent=self.name)
+        self._push_backoff_until = 0.0
         self.total_pushes += 1
         self.total_pushed_rows += rows
         obs.counter(PUSHES_METRIC, agent=self.name, ok="true")
         return rows
+
+    def _rehome(self) -> None:
+        """Ask the resolver who owns this machine now; switch if moved.
+
+        The resolver (typically a closure over the fleet root's
+        ``zone_for``) may itself be unreachable — that is tolerated and
+        retried at the next failed push.  A same-target answer keeps
+        the ack cursor (the zone is down but still ours; its mirror
+        survives if it comes back).  A new target resets the cursor to
+        empty: the new zone's mirror has none of our history, and the
+        full replay is what guarantees zero lost rows — the mirror's
+        per-sequence dedup guarantees zero duplicated ones.
+        """
+        resolver = self._push_resolver
+        if resolver is None:
+            return
+        try:
+            target = resolver(self.machine.name)
+        except (ConnectionError, OSError, KeyError, RuntimeError):
+            return
+        if target is None or target is self._push_target:
+            return
+        self._push_target = target
+        self._push_acked = {}
+        self.push_consecutive_failures = 0
+        self._push_backoff_until = 0.0
+        self.total_rehomes += 1
+        obs.counter(REHOMES_METRIC, agent=self.name)
+        obs.gauge(PUSH_FAILURES_METRIC, 0.0, agent=self.name)
+        obs.event("agent.rehomed", obs.WARNING, agent=self.name)
 
     def collect_delta(
         self, acked: Optional[Mapping[str, int]] = None

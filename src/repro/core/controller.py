@@ -62,7 +62,7 @@ import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
     Callable,
     Dict,
@@ -78,7 +78,15 @@ from repro import obs
 from repro.cluster.topology import Tenant, VirtualNetwork
 from repro.core.agent import Agent
 from repro.core.counters import CounterSnapshot, CounterWindow
-from repro.core.health import AgentHealth, DataQuality, HealthPolicy
+from repro.core.health import (
+    DEAD,
+    HEALTHY,
+    AgentHealth,
+    DataQuality,
+    HealthPolicy,
+    ZoneHealth,
+    ZoneHealthPolicy,
+)
 from repro.core.net.client import AgentUnreachable
 from repro.core.net.protocol import ProtocolError
 from repro.core.records import StatRecord
@@ -97,6 +105,9 @@ STALENESS_METRIC = "perfsight_mirror_staleness_seconds"
 REFRESH_WORKERS_METRIC = "perfsight_controller_refresh_workers"
 PUSH_ROWS_METRIC = "perfsight_zone_pushed_rows_total"
 ZONE_REPORTS_METRIC = "perfsight_fleet_zone_reports_total"
+FAILOVERS_METRIC = "perfsight_fleet_failovers_total"
+REHOMED_METRIC = "perfsight_fleet_rehomed_machines_total"
+ZONE_AGE_METRIC = "perfsight_fleet_zone_report_age_seconds"
 
 T = TypeVar("T")
 
@@ -726,6 +737,20 @@ class ZoneController:
             machines=summaries,
         )
 
+    def resume_reporting_from(self, seq: int) -> None:
+        """Fast-forward the report sequence after a restart.
+
+        A replacement zone process starts its sequence at zero, but the
+        root remembers the crashed predecessor's floor and drops any
+        replayed sequence — so a restarted zone re-subscribes, learns
+        the floor (:meth:`~repro.core.net.client.ZoneClient.subscribe`),
+        and jumps past it here.  Never moves the sequence backward.
+        """
+        if seq < 0:
+            raise ValueError(f"seq must be >= 0: {seq!r}")
+        with self._report_lock:
+            self._report_seq = max(self._report_seq, seq)
+
     def _summarize_machine(self, machine: str, report, window_s: float):
         """One machine's scalar summary from its mirror + scan report."""
         from repro.core.diagnosis.report import MachineSummary
@@ -935,6 +960,49 @@ class ZoneRecord:
     reports_accepted: int = 0
     reports_dropped: int = 0
     subscribed: bool = False
+    #: Report-age liveness state machine (HEALTHY/SUSPECT/DEAD).
+    health: ZoneHealth = field(default_factory=ZoneHealth)
+    #: False while the zone is failed over (off the ring, record kept).
+    active: bool = True
+
+
+@dataclass(frozen=True)
+class ZoneCheck:
+    """Outcome of one :meth:`FleetController.check_zones` sweep.
+
+    ``moves`` is the single batched :func:`moved_keys` diff across
+    every failover/recovery this sweep performed — the deployment layer
+    applies it once (see :func:`apply_shard_moves`) instead of chasing
+    per-zone move maps.
+    """
+
+    now: float
+    #: zone -> liveness state after the sweep (every zone present).
+    states: Dict[str, str]
+    #: machine -> (old zone, new zone) for machines that re-home.
+    moves: Dict[str, Tuple[Optional[str], Optional[str]]]
+    #: Zones this sweep evicted from the ring (newly DEAD).
+    failed_over: Tuple[str, ...] = ()
+    #: Zones this sweep put back on the ring (proof-of-life returned).
+    recovered: Tuple[str, ...] = ()
+
+    @property
+    def changed(self) -> bool:
+        """True when shard ownership changed and moves need applying."""
+        return bool(self.failed_over or self.recovered)
+
+    def describe(self) -> str:
+        bits = [
+            f"zone check @ {self.now:.3f}: "
+            + ", ".join(f"{z}={s}" for z, s in sorted(self.states.items()))
+        ]
+        if self.failed_over:
+            bits.append(f"  failed over: {', '.join(self.failed_over)}")
+        if self.recovered:
+            bits.append(f"  recovered: {', '.join(self.recovered)}")
+        if self.moves:
+            bits.append(f"  {len(self.moves)} machine(s) re-homed")
+        return "\n".join(bits)
 
 
 class FleetController:
@@ -948,18 +1016,38 @@ class FleetController:
     and agent handles stop at the zone tier, which is what bounds the
     root's memory to O(machines) scalars rather than O(machines ×
     elements × history).
+
+    The root is also the failure detector for its zones: every accepted
+    report feeds the zone's :class:`~repro.core.health.ZoneHealth`
+    clock, and a :meth:`check_zones` sweep (run on the heartbeat
+    cadence) decays silent zones through SUSPECT to DEAD, evicts dead
+    zones from the ring (their shard re-homes to survivors via one
+    batched :func:`~repro.core.sharding.moved_keys` diff), and re-admits
+    zones whose reports resume.  Liveness transitions happen *only* in
+    ``record_report`` and ``check_zones`` — never as a side effect of a
+    read — so simulations and tests stay deterministic.  ``clock`` is
+    injectable for exactly that reason; deployments default to
+    ``time.monotonic``.
     """
 
     def __init__(
         self,
         name: str = "perfsight-fleet",
         replicas: int = DEFAULT_REPLICAS,
+        zone_policy: Optional[ZoneHealthPolicy] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self.name = name
         self.ring = HashRing(replicas)
+        self.zone_policy = (
+            zone_policy if zone_policy is not None else ZoneHealthPolicy()
+        )
+        self._clock = clock
         self._zones: Dict[str, ZoneRecord] = {}
         self._machines: List[str] = []  # names only — never handles
         self._lock = threading.Lock()
+        self.failovers = 0
+        self.recoveries = 0
 
     # -- membership and shard ownership ------------------------------------------
 
@@ -995,7 +1083,13 @@ class FleetController:
         with self._lock:
             if zone in self._zones:
                 raise ValueError(f"zone {zone!r} already registered")
-            self._zones[zone] = ZoneRecord(zone=zone)
+            record = ZoneRecord(
+                zone=zone, health=ZoneHealth(self.zone_policy, name=zone)
+            )
+            # Arm the liveness deadline now: a zone that registers and
+            # never pushes a single report must still decay to DEAD.
+            record.health.arm(self._clock())
+            self._zones[zone] = record
         self.ring.add_node(zone)
         moves = moved_keys(before, self._assignment())
         obs.event(
@@ -1007,19 +1101,157 @@ class FleetController:
     def remove_zone(
         self, zone: str
     ) -> Dict[str, Tuple[Optional[str], Optional[str]]]:
-        """Drop a zone from the ring; returns the shard moves it causes."""
+        """Drop a zone permanently; returns the shard moves it causes.
+
+        This is decommissioning — the record is forgotten.  For a zone
+        that merely died and may come back, the failover plane uses
+        :meth:`deactivate_zone` / :meth:`reactivate_zone` instead, which
+        keep the record (and its replay-dedup seq floor) across the
+        outage.  ``discard_node`` tolerates the zone already being off
+        the ring because a failover beat the operator to it.
+        """
         before = self._assignment()
         with self._lock:
             if zone not in self._zones:
                 raise KeyError(f"zone {zone!r} is not registered")
             del self._zones[zone]
-        self.ring.remove_node(zone)
+        self.ring.discard_node(zone)
         moves = moved_keys(before, self._assignment())
         obs.event(
             "fleet.zone_left", obs.WARNING,
             zone=zone, moves=len(moves), zones=len(self._zones),
         )
         return moves
+
+    # -- failover and recovery (the self-healing plane) ---------------------------
+
+    def deactivate_zone(
+        self, zone: str, reason: str = "dead"
+    ) -> Dict[str, Tuple[Optional[str], Optional[str]]]:
+        """Evict a zone from the ring but keep its record; returns moves.
+
+        The failover half: the zone's shard re-homes to survivors (the
+        moves map is exactly the dead shard — consistent hashing leaves
+        every other machine where it was), while the record — and with
+        it the report seq floor — survives, so a recovered zone's
+        replayed reports still dedup correctly.  Idempotent for a zone
+        already inactive.
+        """
+        before = self._assignment()
+        with self._lock:
+            record = self._zones.get(zone)
+            if record is None:
+                raise KeyError(f"zone {zone!r} is not registered")
+            if not record.active:
+                return {}
+            record.active = False
+            self.failovers += 1
+        self.ring.discard_node(zone)
+        moves = moved_keys(before, self._assignment())
+        obs.counter(FAILOVERS_METRIC, zone=zone)
+        obs.counter(REHOMED_METRIC, float(len(moves)))
+        obs.event(
+            "fleet.zone_failed_over", obs.ERROR,
+            zone=zone, reason=reason, moves=len(moves),
+        )
+        return moves
+
+    def reactivate_zone(
+        self, zone: str
+    ) -> Dict[str, Tuple[Optional[str], Optional[str]]]:
+        """Re-admit a recovered zone to the ring; returns the moves.
+
+        Consistent hashing puts exactly the machines the zone owned
+        before its death back onto it (same ring points), so recovery
+        undoes the failover moves and nothing else.  Idempotent for a
+        zone already active.
+        """
+        with self._lock:
+            record = self._zones.get(zone)
+            if record is None:
+                raise KeyError(f"zone {zone!r} is not registered")
+            if record.active:
+                return {}
+        before = self._assignment()
+        with self._lock:
+            record = self._zones[zone]
+            record.active = True
+            record.health.arm(self._clock())
+            self.recoveries += 1
+        self.ring.add_node(zone)
+        moves = moved_keys(before, self._assignment())
+        obs.counter(REHOMED_METRIC, float(len(moves)))
+        obs.event(
+            "fleet.zone_recovered", obs.INFO, zone=zone, moves=len(moves),
+        )
+        return moves
+
+    def check_zones(self, now: Optional[float] = None) -> ZoneCheck:
+        """One liveness sweep: decay silent zones, fail over, recover.
+
+        Run this on the heartbeat cadence.  Active zones are re-judged
+        by report age; any that decayed to DEAD are evicted from the
+        ring.  Inactive zones whose health snapped back to HEALTHY (a
+        report arrived — proof of life) are re-admitted.  All ring
+        changes in one sweep produce a single batched moves diff.
+        """
+        now = self._clock() if now is None else now
+        with self._lock:
+            records = [self._zones[z] for z in sorted(self._zones)]
+        before = self._assignment()
+        failed_over: List[str] = []
+        recovered: List[str] = []
+        states: Dict[str, str] = {}
+        for record in records:
+            if record.active:
+                state = record.health.evaluate(now)
+                if state == DEAD:
+                    with self._lock:
+                        still = record.active
+                        if still:
+                            record.active = False
+                            self.failovers += 1
+                    if still:
+                        self.ring.discard_node(record.zone)
+                        failed_over.append(record.zone)
+                        obs.counter(FAILOVERS_METRIC, zone=record.zone)
+                        obs.event(
+                            "fleet.zone_failed_over", obs.ERROR,
+                            zone=record.zone, reason="heartbeat",
+                        )
+            else:
+                state = record.health.state
+                if state == HEALTHY:
+                    with self._lock:
+                        record.active = True
+                        record.health.arm(now)
+                        self.recoveries += 1
+                    self.ring.add_node(record.zone)
+                    recovered.append(record.zone)
+                    obs.event(
+                        "fleet.zone_recovered", obs.INFO, zone=record.zone,
+                    )
+            states[record.zone] = state
+            age = record.health.age_s(now)
+            if age is not None:
+                obs.gauge(ZONE_AGE_METRIC, age, zone=record.zone)
+        moves = moved_keys(before, self._assignment()) if (
+            failed_over or recovered
+        ) else {}
+        if moves:
+            obs.counter(REHOMED_METRIC, float(len(moves)))
+        return ZoneCheck(
+            now=now,
+            states=states,
+            moves=moves,
+            failed_over=tuple(failed_over),
+            recovered=tuple(recovered),
+        )
+
+    def zone_states(self) -> Dict[str, str]:
+        """zone -> current liveness state (read-only, no transitions)."""
+        with self._lock:
+            return {z: r.health.state for z, r in self._zones.items()}
 
     def _assignment(self) -> Dict[str, str]:
         if not len(self.ring):
@@ -1050,14 +1282,22 @@ class FleetController:
             record.subscribed = True
             return {"zone_seq": record.last_seq}
 
-    def ingest_zone_report(self, report) -> bool:
+    def ingest_zone_report(self, report, now: Optional[float] = None) -> bool:
         """Accept one pushed zone roll-up; False for a stale replay.
 
         The idempotency contract behind OP_ZONE_REPORT's membership in
         the retry-safe op set: a duplicate delivery (client retry after
         a lost response) carries the same ``seq`` and is dropped here
         without disturbing the accepted state.
+
+        Any accepted report is proof of life: it feeds the zone's
+        liveness clock and snaps its health back to HEALTHY from any
+        state.  (A *replay* does not — a retried duplicate proves the
+        network delivered an old frame, not that the zone is alive now.)
+        The ring re-admission itself waits for the next
+        :meth:`check_zones` sweep so shard moves stay batched.
         """
+        now = self._clock() if now is None else now
         with self._lock:
             record = self._zones.get(report.zone)
             if record is None:
@@ -1069,6 +1309,7 @@ class FleetController:
             record.last_seq = report.seq
             record.latest = report
             record.reports_accepted += 1
+        record.health.record_report(now)
         obs.counter(ZONE_REPORTS_METRIC, zone=report.zone, ok="true")
         return True
 
@@ -1088,13 +1329,83 @@ class FleetController:
 
     # -- fleet merge ---------------------------------------------------------------
 
-    def rollup(self):
-        """Merge the latest report of every zone into a fleet view."""
-        from repro.core.diagnosis.report import FleetRollup
+    def rollup(self, now: Optional[float] = None):
+        """Merge the latest report of every zone into a fleet view.
 
+        Zones judged DEAD (or failed over off the ring) contribute *no*
+        report to the merged views — their machines are being re-homed
+        and the survivors' next reports cover them; merging the corpse's
+        last words would double-count the shard.  They surface instead
+        in ``zone_quality`` / ``down_zones``.  Merely-SUSPECT zones are
+        still merged but carry a ``stale`` annotation, so an old report
+        is never silently passed off as fresh.  This is a read: no
+        liveness transitions happen here (see :meth:`check_zones`).
+        """
+        from repro.core.diagnosis.report import FleetRollup, ZoneQuality
+
+        now = self._clock() if now is None else now
         with self._lock:
-            latest = {
-                z: r.latest for z, r in self._zones.items() if r.latest is not None
-            }
+            records = dict(self._zones)
+        latest = {}
+        quality = {}
+        for zone, record in records.items():
+            q = ZoneQuality(
+                zone=zone,
+                state=record.health.state,
+                active=record.active,
+                age_s=record.health.age_s(now),
+                last_seq=record.last_seq,
+            )
+            quality[zone] = q
+            if record.latest is not None and not q.zone_down:
+                latest[zone] = record.latest
         window_s = max((r.window_s for r in latest.values()), default=0.0)
-        return FleetRollup(window_s=window_s, zones=latest)
+        return FleetRollup(window_s=window_s, zones=latest, zone_quality=quality)
+
+
+def apply_shard_moves(
+    moves: Dict[str, Tuple[Optional[str], Optional[str]]],
+    zones: Dict[str, ZoneController],
+    handle_for: Optional[Callable[[str], AgentHandle]] = None,
+) -> Dict[str, str]:
+    """Act on a :func:`~repro.core.sharding.moved_keys` diff.
+
+    The deployment half of a rebalance or failover: for every moved
+    machine, pull its handle out of the old :class:`ZoneController` and
+    register it with the new one.  The root never holds handles, so
+    when the old zone is gone (dead process, no entry in ``zones``, or
+    the machine already unregistered) ``handle_for`` mints a fresh
+    handle — the same factory a deployment used at bring-up.
+
+    Returns machine -> new zone for the moves actually applied.  A move
+    whose destination zone is not in ``zones`` is skipped (it will be
+    re-applied when that zone appears); a move with no handle source at
+    all raises, because silently dropping a machine from every shard is
+    exactly the stranding this plane exists to prevent.
+    """
+    applied: Dict[str, str] = {}
+    for machine in sorted(moves):
+        old, new = moves[machine]
+        handle: Optional[AgentHandle] = None
+        src = zones.get(old) if old is not None else None
+        if src is not None:
+            try:
+                handle = src.unregister_agent(machine)
+            except KeyError:
+                handle = None
+        if new is None or new not in zones:
+            continue
+        if handle is None and handle_for is not None:
+            handle = handle_for(machine)
+        if handle is None:
+            raise KeyError(
+                f"no handle source for machine {machine!r} "
+                f"(old zone {old!r} unavailable and no handle_for factory)"
+            )
+        zones[new].register_agent(machine, handle)
+        applied[machine] = new
+    obs.event(
+        "fleet.shard_moves_applied", obs.INFO,
+        moves=len(moves), applied=len(applied),
+    )
+    return applied

@@ -14,7 +14,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.diagnosis.states import MiddleboxState
-from repro.core.health import HEALTHY, DataQuality, count_states, merge_state_counts, worst_state
+from repro.core.health import (
+    DEAD,
+    HEALTHY,
+    DataQuality,
+    count_states,
+    merge_state_counts,
+    worst_state,
+)
 from repro.core.rulebook import Verdict
 
 #: Verdict confidence labels used across the diagnosis reports.
@@ -424,6 +431,46 @@ class ZoneReport:
         )
 
 
+@dataclass(frozen=True)
+class ZoneQuality:
+    """Liveness/staleness annotation for one zone's slice of a roll-up.
+
+    The root's answer to "how much should I trust this zone's data":
+    ``state`` is the zone's liveness state at merge time, ``age_s`` how
+    far its last accepted report lags the merge (None before any
+    report), ``active`` whether the zone currently owns a shard on the
+    ring (False while failed over).  ``stale`` flags any non-HEALTHY
+    zone; ``zone_down`` the zones whose reports were *excluded* from
+    the merged views — a DEAD or evicted zone's machines are being
+    re-homed, so its last report describes a shard it no longer owns.
+    """
+
+    zone: str
+    state: str = HEALTHY
+    active: bool = True
+    age_s: Optional[float] = None
+    last_seq: int = 0
+
+    @property
+    def stale(self) -> bool:
+        """True when the zone's data may lag the fleet's true state."""
+        return self.state != HEALTHY
+
+    @property
+    def zone_down(self) -> bool:
+        """True when the zone's report is excluded from the merge."""
+        return self.state == DEAD or not self.active
+
+    def describe(self) -> str:
+        if self.zone_down:
+            age = f", last report {self.age_s:.3f}s ago" if self.age_s is not None else ""
+            return f"{self.zone}: DOWN ({self.state}{age})"
+        if self.stale:
+            age = f", {self.age_s:.3f}s stale" if self.age_s is not None else ""
+            return f"{self.zone}: STALE ({self.state}{age})"
+        return f"{self.zone}: fresh ({self.state})"
+
+
 @dataclass
 class FleetRollup:
     """The root tier's fleet-wide merge of the latest zone reports.
@@ -431,10 +478,30 @@ class FleetRollup:
     Holds one :class:`ZoneReport` per zone — scalars only.  The merged
     views mirror :class:`FleetDiagnosis` so tests can assert the
     hierarchy reaches the same verdicts as a flat controller.
+
+    ``zone_quality`` carries the root's liveness verdict per zone:
+    zones flagged ``zone_down`` contributed *no* report to ``zones``
+    (their machines are being re-homed and would double-count against
+    the survivors' reports); zones merely ``stale`` are merged but
+    annotated, so an operator reading the roll-up knows exactly which
+    numbers may lag.
     """
 
     window_s: float
     zones: Dict[str, ZoneReport] = field(default_factory=dict)
+    zone_quality: Dict[str, ZoneQuality] = field(default_factory=dict)
+
+    @property
+    def stale_zones(self) -> List[str]:
+        """Zones merged with non-fresh data (annotated, not hidden)."""
+        return sorted(
+            z for z, q in self.zone_quality.items() if q.stale and not q.zone_down
+        )
+
+    @property
+    def down_zones(self) -> List[str]:
+        """Zones excluded from the merge (dead or evicted from the ring)."""
+        return sorted(z for z, q in self.zone_quality.items() if q.zone_down)
 
     @property
     def zone_names(self) -> List[str]:
@@ -511,6 +578,10 @@ class FleetRollup:
             "  health: "
             + ", ".join(f"{state}={n}" for state, n in counts.items() if n)
         )
+        for zone in self.down_zones:
+            lines.append(f"  !! ZONE DOWN: {self.zone_quality[zone].describe()}")
+        for zone in self.stale_zones:
+            lines.append(f"  !! ZONE STALE: {self.zone_quality[zone].describe()}")
         if self.degraded:
             lines.append("  !! DEGRADED on: " + ", ".join(self.degraded_machines))
         losses = self.loss_by_machine

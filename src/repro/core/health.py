@@ -17,6 +17,20 @@ States::
 Thresholds are counted in *consecutive* collection attempts, not wall
 time, so the machine behaves identically under simulated and real
 clocks and under any refresh cadence.
+
+The hierarchy's root tier tracks the same idea one level up, but in
+*time* rather than attempts: a zone is expected to push a report every
+heartbeat period, and the root judges liveness by how far the last
+accepted report lags the deadline (:class:`ZoneHealth`)::
+
+    HEALTHY --(no report for suspect_after heartbeats)--> SUSPECT
+    SUSPECT --(no report for dead_after heartbeats)-----> DEAD
+    any state --(a report arrives)----------------------> HEALTHY
+
+Attempt counting would not work at the root: the root does not call
+zones, zones call the root, so "consecutive failures" has no observer
+there — absence of evidence is the only signal, and absence is
+measured in heartbeats.
 """
 
 from __future__ import annotations
@@ -33,6 +47,14 @@ DEGRADED = "degraded"
 DEAD = "dead"
 
 HEALTH_STATES = (HEALTHY, DEGRADED, DEAD)
+
+#: Zone liveness adds SUSPECT between healthy and dead: a zone that
+#: missed one heartbeat is probably slow, not gone — Dapper's two-phase
+#: shape (cheap suspicion first, expensive recovery only on confirmed
+#: death) applied to the control plane itself.
+SUSPECT = "suspect"
+
+ZONE_STATES = (HEALTHY, SUSPECT, DEAD)
 
 _STATE_RANK = {state: rank for rank, state in enumerate(HEALTH_STATES)}
 
@@ -227,3 +249,148 @@ class DataQuality:
             f"{self.machine}: STALE ({self.state}, "
             f"{self.consecutive_failures} consecutive failed syncs{age})"
         )
+
+
+# -- zone liveness (the root tier's view of its aggregators) ------------------
+
+#: Self-observability names for the zone state machine.
+ZONE_TRANSITIONS_METRIC = "perfsight_zone_health_transitions_total"
+
+_ZONE_SEVERITY = {HEALTHY: obs.INFO, SUSPECT: obs.WARNING, DEAD: obs.ERROR}
+
+_ZONE_RANK = {state: rank for rank, state in enumerate(ZONE_STATES)}
+
+
+@dataclass(frozen=True)
+class ZoneHealthPolicy:
+    """Deadlines of the per-zone liveness state machine at the root.
+
+    A live zone pushes a report at least every ``heartbeat_s``.  A zone
+    whose last report is older than ``suspect_after`` heartbeats is
+    SUSPECT; older than ``dead_after`` heartbeats, DEAD.  The defaults
+    (1 and 2 heartbeats) give the acceptance bound the failover plane
+    is built around: a killed zone is detected within two heartbeat
+    periods.
+    """
+
+    heartbeat_s: float = 1.0
+    suspect_after: float = 1.0
+    dead_after: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be positive: {self.heartbeat_s!r}")
+        if self.suspect_after <= 0:
+            raise ValueError(
+                f"suspect_after must be positive: {self.suspect_after!r}"
+            )
+        if self.dead_after < self.suspect_after:
+            raise ValueError(
+                f"dead_after ({self.dead_after!r}) must be >= suspect_after "
+                f"({self.suspect_after!r})"
+            )
+
+    def state_for_age(self, age_s: float) -> str:
+        """The liveness state implied by a report age (pure function)."""
+        if age_s >= self.dead_after * self.heartbeat_s:
+            return DEAD
+        if age_s >= self.suspect_after * self.heartbeat_s:
+            return SUSPECT
+        return HEALTHY
+
+
+class ZoneHealth:
+    """Tracks one zone's liveness at the fleet root, by report age.
+
+    Unlike :class:`AgentHealth` (attempt-counted, because the
+    controller actively calls its agents), the root only *receives*:
+    a zone that died simply stops pushing, so liveness is judged by
+    comparing the last accepted report's arrival time against the
+    heartbeat deadline.  ``record_report`` is the proof-of-life edge —
+    any accepted report snaps the zone back to HEALTHY from any state;
+    ``evaluate`` drives the age-based decay.
+    """
+
+    def __init__(
+        self, policy: Optional[ZoneHealthPolicy] = None, name: str = ""
+    ) -> None:
+        self.policy = policy if policy is not None else ZoneHealthPolicy()
+        self.name = name
+        self._lock = threading.Lock()
+        self.state = HEALTHY
+        #: Arrival time of the last accepted report (None before any).
+        self.last_report_ts: Optional[float] = None
+        self.reports_seen = 0
+        #: Every (from_state, to_state) edge taken, in order.
+        self.transitions: List[Tuple[str, str]] = []
+
+    def record_report(self, now: float) -> str:
+        """An accepted report arrived at ``now``; returns the new state."""
+        with self._lock:
+            self.last_report_ts = now
+            self.reports_seen += 1
+            if self.state != HEALTHY:
+                self._transition(HEALTHY)
+            return self.state
+
+    def evaluate(self, now: float) -> str:
+        """Re-judge liveness against the deadline; returns the state.
+
+        A zone that has never reported ages from its registration — the
+        caller seeds ``last_report_ts`` via :meth:`arm` so a zone that
+        registers and immediately dies is still detected.
+        """
+        with self._lock:
+            if self.last_report_ts is None:
+                return self.state
+            implied = self.policy.state_for_age(max(0.0, now - self.last_report_ts))
+            if implied != self.state:
+                # Only decay here: recovery edges come exclusively from
+                # record_report (evidence), never from re-evaluation.
+                if _ZONE_RANK[implied] > _ZONE_RANK[self.state]:
+                    self._transition(implied)
+            return self.state
+
+    def arm(self, now: float) -> None:
+        """Start the liveness clock without counting a report.
+
+        Called at registration (and reactivation) so the deadline is
+        armed from the moment the root starts expecting heartbeats.
+        """
+        with self._lock:
+            if self.last_report_ts is None or now > self.last_report_ts:
+                self.last_report_ts = now
+
+    def age_s(self, now: float) -> Optional[float]:
+        """How far the last report lags ``now`` (None before any)."""
+        with self._lock:
+            if self.last_report_ts is None:
+                return None
+            return max(0.0, now - self.last_report_ts)
+
+    def _transition(self, new_state: str) -> None:
+        self.transitions.append((self.state, new_state))
+        obs.counter(ZONE_TRANSITIONS_METRIC, to=new_state)
+        obs.event(
+            "zone_health.transition",
+            _ZONE_SEVERITY[new_state],
+            zone=self.name,
+            from_state=self.state,
+            to_state=new_state,
+        )
+        self.state = new_state
+
+    @property
+    def healthy(self) -> bool:
+        return self.state == HEALTHY
+
+    @property
+    def dead(self) -> bool:
+        return self.state == DEAD
+
+    def state_sequence(self) -> List[str]:
+        """The states visited so far, starting from HEALTHY."""
+        return [HEALTHY] + [to for _, to in self.transitions]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ZoneHealth(zone={self.name!r}, state={self.state!r})"

@@ -75,6 +75,12 @@ OP_HELLO = "hello"
 OP_ZONE_SUBSCRIBE = "zone_subscribe"
 OP_ZONE_REPORT = "zone_report"
 
+#: Shard-ownership lookup at the root: "which zone owns this machine
+#: *now*?"  The re-homing consult an agent (or its deployment shim)
+#: makes after its push target dies — the root answers from the hash
+#: ring, which failover keeps current.
+OP_ZONE_FOR = "zone_for"
+
 #: Codec names, in client preference order.  ``bin1`` is the packed
 #: binary BATCH_DELTA payload (version 1); ``json`` is the v0 format
 #: every peer speaks.
@@ -96,7 +102,7 @@ FORCE_JSON_ENV = "PERFSIGHT_WIRE_FORCE_JSON"
 #: ZONE_SUBSCRIBE is a pure read of the root's ack floor, and
 #: ZONE_REPORT carries the zone's monotonic report sequence — the root
 #: drops any replayed sequence, so a blind retry after a lost response
-#: cannot double-apply a roll-up.
+#: cannot double-apply a roll-up.  ZONE_FOR is a pure read of the ring.
 IDEMPOTENT_OPS = frozenset(
     {
         OP_PING,
@@ -106,6 +112,7 @@ IDEMPOTENT_OPS = frozenset(
         OP_HELLO,
         OP_ZONE_SUBSCRIBE,
         OP_ZONE_REPORT,
+        OP_ZONE_FOR,
     }
 )
 

@@ -43,6 +43,7 @@ from repro.core.net.protocol import (
     OP_PING,
     OP_QUERY,
     OP_STACK_ELEMENTS,
+    OP_ZONE_FOR,
     OP_ZONE_REPORT,
     OP_ZONE_SUBSCRIBE,
     FORCE_JSON_ENV,
@@ -255,11 +256,33 @@ class _AgentTCPServer(socketserver.ThreadingTCPServer):
         super().__init__(*args, **kwargs)
         self._handler_socks: set = set()
         self._handler_socks_lock = threading.Lock()
+        self._partitioned = False
 
     def process_request(self, request, client_address) -> None:
+        if self._partitioned:
+            # Emulated network partition: the process is alive but no
+            # new connection gets past accept — peers see resets, the
+            # same signal a real partition's RSTs/timeouts produce.
+            self.shutdown_request(request)
+            return
         with self._handler_socks_lock:
             self._handler_socks.add(request)
         super().process_request(request, client_address)
+
+    def partition(self) -> int:
+        """Drop into partition mode and sever live connections.
+
+        Returns the number of connections severed.  The listener keeps
+        accepting (so the OS-level port stays bound, exactly like a
+        partitioned-but-alive host), but every connection is closed
+        immediately and every in-flight one is cut.
+        """
+        self._partitioned = True
+        return self.close_lingering()
+
+    def heal(self) -> None:
+        """Leave partition mode; new connections are served again."""
+        self._partitioned = False
 
     def shutdown_request(self, request) -> None:
         with self._handler_socks_lock:
@@ -355,6 +378,23 @@ class AgentServer:
     def stop(self) -> None:
         """Alias of :meth:`shutdown` (historical name)."""
         self.shutdown()
+
+    def partition(self) -> int:
+        """Emulate a network partition: alive, but unreachable.
+
+        Fault-injection surface for the chaos plane — unlike
+        :meth:`shutdown` the server keeps running and :meth:`heal`
+        restores service without a restart.  Returns connections cut.
+        """
+        return self._server.partition()
+
+    def heal(self) -> None:
+        """Undo :meth:`partition`."""
+        self._server.heal()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._server._partitioned
 
     def __enter__(self) -> "AgentServer":
         return self.start()
@@ -474,6 +514,9 @@ class _FleetRequestHandler(socketserver.BaseRequestHandler):
         if op == OP_ZONE_SUBSCRIBE:
             zone = str(request.get("zone", ""))
             return {"ok": True, **fleet.subscribe_zone(zone)}
+        if op == OP_ZONE_FOR:
+            machine = str(request.get("machine", ""))
+            return {"ok": True, "zone": fleet.zone_for(machine)}
         if op == OP_ZONE_REPORT:
             report_wire = request.get("report")
             if not isinstance(report_wire, dict):
@@ -540,6 +583,18 @@ class FleetServer:
         if self._thread is not None:
             self._thread.join(timeout=5)
             self._thread = None
+
+    def partition(self) -> int:
+        """Emulate a root <-> zone partition (see AgentServer)."""
+        return self._server.partition()
+
+    def heal(self) -> None:
+        """Undo :meth:`partition`."""
+        self._server.heal()
+
+    @property
+    def partitioned(self) -> bool:
+        return self._server._partitioned
 
     def __enter__(self) -> "FleetServer":
         return self.start()

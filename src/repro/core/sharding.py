@@ -84,6 +84,20 @@ class HashRing:
                     if at < len(self._points) and self._points[at] == pt:
                         del self._points[at]
 
+    def discard_node(self, node: str) -> bool:
+        """Remove a zone if present; False when it was not on the ring.
+
+        The failover-safe spelling of :meth:`remove_node`: an automatic
+        zone-death eviction may race an operator's explicit
+        decommission, and whichever loses the race must be a no-op, not
+        a crash.
+        """
+        try:
+            self.remove_node(node)
+            return True
+        except KeyError:
+            return False
+
     def nodes(self) -> List[str]:
         with self._lock:
             return sorted(self._nodes)

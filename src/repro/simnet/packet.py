@@ -119,6 +119,10 @@ class PacketBatch:
             # Underflow guard: a take too small to represent is no take.
             return PacketBatch(self.flow, 0.0, 0.0)
         taken_pkts = self.pkts * frac
+        if taken_pkts <= 0.0 < self.pkts:
+            # The byte fraction was representable but the packet share
+            # underflowed to zero — still no take (bytes need packets).
+            return PacketBatch(self.flow, 0.0, 0.0)
         self.nbytes -= take_bytes
         self.pkts -= taken_pkts
         return PacketBatch(self.flow, taken_pkts, take_bytes)

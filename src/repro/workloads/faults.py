@@ -18,6 +18,15 @@ sockets) get per-read error/timeout/staleness probabilities
 an injection plus its undo into a phase tuple so a Figure-8-style
 timeline can degrade the *measurement path* mid-experiment and watch
 the diagnosis plane ride it out.
+
+Process-level chaos extends the same vocabulary one tier up: a "zone"
+here is anything with the stop/start (or partition/heal) lifecycle —
+the TCP servers in :mod:`repro.core.net.server`, or an in-simulation
+stand-in — and :func:`zone_kill_phase` / :func:`zone_restart_phase` /
+:func:`partition_phase` put killing a ZoneController mid-diagnosis on
+the same declarative timeline as flooding a vNIC.  The self-healing
+plane (root-side liveness, shard failover, agent re-homing) is what the
+experiment then observes riding it out.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from __future__ import annotations
 import warnings
 from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.core.channels import ChannelFaultPlan
 from repro.simnet.engine import Simulator
 
@@ -150,5 +160,95 @@ def channel_fault_phase(
     def on_exit() -> None:
         if undo_box:
             undo_box.pop()()
+
+    return (start_s, end_s, on_enter, on_exit if end_s is not None else None)
+
+
+# -- process-level chaos (the control plane's own failure modes) ---------------
+
+
+def kill_zone(stoppable, zone: str = "") -> None:
+    """Kill one zone process; peers see resets, not graceful goodbyes.
+
+    ``stoppable`` needs only a ``shutdown()`` (or ``stop()``); for the
+    TCP servers that severs every live connection too, so a connected
+    client's next read fails immediately — the same signal a crashed
+    process produces.
+    """
+    obs.event("chaos.zone_killed", obs.ERROR, zone=zone or str(stoppable))
+    stop = getattr(stoppable, "shutdown", None) or getattr(stoppable, "stop")
+    stop()
+
+
+def zone_kill_phase(
+    start_s: float,
+    kill: Callable[[], None],
+    zone: str = "",
+) -> Phase:
+    """A schedulable phase that kills a zone at ``start_s``, forever.
+
+    ``kill`` does the actual killing (shut a server down, cancel a
+    controller's cadences, sever its handles) — the phase wraps it with
+    the chaos event so experiment timelines and obs logs agree on when
+    the failure was injected.  Restart is a separate
+    :func:`zone_restart_phase`, matching how real recovery is a new
+    process, not the old one resuming.
+    """
+
+    def on_enter() -> None:
+        obs.event("chaos.zone_killed", obs.ERROR, zone=zone)
+        kill()
+
+    return (start_s, None, on_enter, None)
+
+
+def zone_restart_phase(
+    start_s: float,
+    restart: Callable[[], None],
+    zone: str = "",
+) -> Phase:
+    """A schedulable phase that brings a replacement zone up at ``start_s``.
+
+    The restarted zone is expected to resubscribe to the root (learning
+    the accepted-seq floor) and resume reporting; the root's next
+    liveness sweep then re-admits it to the ring and recovery moves its
+    shard home.
+    """
+
+    def on_enter() -> None:
+        obs.event("chaos.zone_restarted", obs.INFO, zone=zone)
+        restart()
+
+    return (start_s, None, on_enter, None)
+
+
+def partition_phase(
+    start_s: float,
+    end_s: Optional[float],
+    partitionable,
+    zone: str = "",
+) -> Phase:
+    """A schedulable root<->zone (or zone<->agent) partition, then heal.
+
+    ``partitionable`` carries the ``partition()`` / ``heal()`` pair the
+    TCP servers expose: the process stays alive and bound but refuses
+    and severs connections until the phase ends — the
+    alive-but-unreachable failure mode that distinguishes a partition
+    from a crash.  With ``end_s=None`` the partition never heals.
+    """
+    if not hasattr(partitionable, "partition") or not hasattr(
+        partitionable, "heal"
+    ):
+        raise TypeError(
+            f"{type(partitionable).__name__} has no partition()/heal() pair"
+        )
+
+    def on_enter() -> None:
+        obs.event("chaos.partitioned", obs.ERROR, zone=zone)
+        partitionable.partition()
+
+    def on_exit() -> None:
+        obs.event("chaos.healed", obs.INFO, zone=zone)
+        partitionable.heal()
 
     return (start_s, end_s, on_enter, on_exit if end_s is not None else None)
