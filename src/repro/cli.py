@@ -45,6 +45,11 @@ EXPERIMENTS = {
              "root detect it, fail its shard over, re-home agents and "
              "reconverge to the flat controller's verdicts; then a root "
              "partition exercises staleness and circuit breakers",
+    "watch": "always-on streaming diagnosis: the DiagnosisDaemon's "
+             "coarse monitoring loop over real TCP, an injected fault "
+             "tripping the detector, two-phase escalation to "
+             "Algorithm-1/2, and the incident rendered as one linked "
+             "trace",
 }
 
 
@@ -1068,6 +1073,287 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if result["ok"] else 1
 
 
+def _run_watch_scenario(
+    n_machines: int,
+    n_zones: int,
+    rounds: int,
+    fault_round: int,
+    window_s: float,
+    fault: str = "drop",
+    on_round=None,
+):
+    """Streaming-diagnosis demo: coarse rounds over TCP, one incident.
+
+    Builds a sharded fleet whose coarse roll-ups travel the real
+    ZONE_REPORT wire every round, injects one fault mid-run (``drop``:
+    a traffic spike past a vNIC cap on the victim; ``crash``: the
+    victim's agent goes quiet), and lets the
+    :class:`~repro.core.daemon.DiagnosisDaemon` detect, escalate,
+    diagnose and de-escalate it.  ``on_round`` (round, RoundResult) is
+    the live feed hook — the human-readable command prints each round
+    as it happens; ``--json`` passes None so output stays clean.
+    Returns a JSON-ready dict plus the incident list for rendering.
+    """
+    from repro.cluster.chains import build_chain
+    from repro.core.controller import FleetController, ZoneController
+    from repro.core.daemon import DaemonConfig, DetectorConfig, DiagnosisDaemon
+    from repro.core.health import ZoneHealthPolicy
+    from repro.core.net.client import ZoneClient
+    from repro.core.net.server import FleetServer
+    from repro.middleboxes.http import HttpClient, HttpServer
+    from repro.middleboxes.proxy import Proxy
+    from repro.scenarios.common import Harness
+    from repro.simnet.packet import Flow
+    from repro.workloads.traffic import ExternalTrafficSource
+
+    if n_machines < 2 or n_zones < 1:
+        raise ValueError("watch needs at least two machines and one zone")
+    if fault not in ("drop", "crash"):
+        raise ValueError(f"unknown fault kind: {fault!r}")
+    if not 1 <= fault_round <= rounds:
+        raise ValueError("fault_round must fall inside the round budget")
+
+    h = Harness(seed=5)
+    sources = {}
+    for i in range(n_machines):
+        name = f"host-{i:03d}"
+        machine = h.add_machine(name)
+        vm = machine.add_vm("vm0", vcpu_cores=1.0, vnic_bps=100e6)
+        app = HttpServer(h.sim, vm, f"app-{name}", cpu_per_byte=1e-9)
+        flow = Flow(f"rx-{name}", dst_vm="vm0", kind="udp")
+        vm.bind_udp(flow, app.socket)
+        sources[name] = ExternalTrafficSource(
+            h.sim, f"src-{name}", flow, machine.inject, rate_bps=60e6
+        )
+    victim = "host-000"
+
+    # A tenant chain on the victim so the escalation's Algorithm-2 pass
+    # has a propagation graph to localize over.
+    tenant = h.add_tenant("acme")
+    vmachine = h.machines[victim]
+    tclient = HttpClient(h.sim, vmachine.add_vm("vm-client", vnic_bps=100e6), "client")
+    tproxy = Proxy(h.sim, vmachine.add_vm("vm-proxy", vnic_bps=100e6), "proxy")
+    tserver = HttpServer(h.sim, vmachine.add_vm("vm-server", vnic_bps=100e6), "server")
+    build_chain([tclient, tproxy, tserver], tenant.vnet)
+    for app in (tclient, tproxy, tserver):
+        h.register_app(app)
+
+    h.advance(0.5)
+    for agent in h.agents.values():
+        agent.poll_once()  # seed the detectors' baselines
+
+    heartbeat_s = 2.0 * window_s
+    fleet = FleetController(
+        "watch-root",
+        zone_policy=ZoneHealthPolicy(heartbeat_s=heartbeat_s),
+        clock=lambda: h.sim.now,
+    )
+    fleet.track_machines(h.agents)
+    zones = {}
+    for z in range(n_zones):
+        zone_name = f"zone-{z}"
+        fleet.register_zone(zone_name)
+        zones[zone_name] = ZoneController(zone_name)
+    shard_sizes = {}
+    for zone_name, machines in fleet.shards().items():
+        shard_sizes[zone_name] = len(machines)
+        for name in machines:
+            zones[zone_name].register_local_agent(h.agents[name])
+    for zone in zones.values():
+        zone.register_tenant(tenant)
+        for name in zone.machines():
+            h.agents[name].start_pushing(zone, period_s=0.05)
+    h.advance(0.2)
+
+    round_log = []
+    incidents = []
+    detected_round = None
+    resolved_round = None
+    wire_reports = {"accepted": 0}
+
+    with FleetServer(fleet) as server:
+        host, port = server.address
+        links = {
+            z: ZoneClient(host, port, name=f"{z}-link") for z in zones
+        }
+        try:
+            for z in links:
+                links[z].subscribe(z)
+
+            def sink(zname, report):
+                """Phase 1 -> root over the real ZONE_REPORT wire."""
+                if links[zname].push_report(report.to_wire()):
+                    wire_reports["accepted"] += 1
+
+            daemon = DiagnosisDaemon(
+                zones,
+                h.advance,
+                fleet=fleet,
+                config=DaemonConfig(
+                    window_s=window_s, detector=DetectorConfig()
+                ),
+                agents=h.agents,
+                report_sink=sink,
+                tenant_for=lambda m: "acme" if m == victim else None,
+                clock=lambda: h.sim.now,
+            )
+
+            heal_round = None
+            for r in range(1, rounds + 1):
+                if r == fault_round:
+                    if fault == "drop":
+                        sources[victim].set_rate(rate_bps=400e6)
+                    else:
+                        h.agents[victim].stop_pushing()
+                res = daemon.tick()
+                if res.opened and detected_round is None:
+                    detected_round = r
+                    heal_round = r + 2
+                if heal_round is not None and r >= heal_round and fault == "drop":
+                    sources[victim].set_rate(rate_bps=60e6)
+                if res.resolved and resolved_round is None:
+                    resolved_round = r
+                lossy = {
+                    m: round(s.pkt_loss_rate, 4)
+                    for m, s in res.signals.items()
+                    if s.pkt_loss_rate > 0.001
+                }
+                entry = {
+                    "round": r,
+                    "lossy": lossy,
+                    "opened": [i.machine for i in res.opened],
+                    "resolved": [i.machine for i in res.resolved],
+                    "diagnosed": list(res.diagnosed),
+                    "deferred": list(res.deferred),
+                    "zone_states": dict(res.zone_states),
+                    "monitor_ms": round(res.monitor_s * 1e3, 3),
+                }
+                round_log.append(entry)
+                if on_round is not None:
+                    on_round(entry)
+            incidents = list(daemon.incidents)
+            monitor_cost_s = daemon.monitor_cost_s
+            daemon_rounds = daemon.rounds
+        finally:
+            for link in links.values():
+                link.close()
+            for agent in h.agents.values():
+                if agent.pushing:
+                    agent.stop_pushing()
+                if agent.polling:
+                    agent.stop_polling()
+
+    detected = detected_round is not None and any(
+        i.machine == victim for i in incidents
+    )
+    result = {
+        "machines": n_machines,
+        "zones": n_zones,
+        "shard_sizes": shard_sizes,
+        "window_s": window_s,
+        "fault": fault,
+        "victim": victim,
+        "fault_round": fault_round,
+        "detected": detected,
+        "detected_round": detected_round,
+        "detection_rounds": (
+            detected_round - fault_round + 1
+            if detected_round is not None else None
+        ),
+        "resolved_round": resolved_round,
+        "wire_reports_accepted": wire_reports["accepted"],
+        "monitor_cost_s": monitor_cost_s,
+        "monitor_cost_per_round_ms": (
+            monitor_cost_s / daemon_rounds * 1e3 if daemon_rounds else 0.0
+        ),
+        "incidents": [i.to_dict() for i in incidents],
+        "rounds": round_log,
+    }
+    return result, incidents
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    machines = min(args.machines, 4) if args.quick else args.machines
+    rounds = min(args.rounds, 12) if args.quick else args.rounds
+    fault_round = min(args.fault_round, rounds)
+
+    def live(entry):
+        lossy = " ".join(
+            f"{m}={rate:.1%}" for m, rate in sorted(entry["lossy"].items())
+        ) or "-"
+        flags = []
+        if entry["opened"]:
+            flags.append("OPEN " + ",".join(entry["opened"]))
+        if entry["diagnosed"]:
+            flags.append("diag " + ",".join(entry["diagnosed"]))
+        if entry["resolved"]:
+            flags.append("RESOLVED " + ",".join(entry["resolved"]))
+        if entry["deferred"]:
+            flags.append("deferred " + ",".join(entry["deferred"]))
+        print(
+            f"  round {entry['round']:3d}  loss[{lossy}]  "
+            f"monitor {entry['monitor_ms']:.2f}ms  "
+            + ("  ".join(flags) if flags else "steady")
+        )
+
+    hub = obs.Observability()
+    with obs.installed(hub):
+        result, incidents = _run_watch_scenario(
+            machines, args.zones, rounds, fault_round, args.window_s,
+            fault=args.fault,
+            on_round=None if args.json else live,
+        )
+
+    if args.json:
+        result["prometheus"] = hub.metrics.render_prometheus()
+        result["events"] = [e.to_dict() for e in hub.events.events()]
+        print(json.dumps(result, indent=2, sort_keys=True, default=str))
+        return 0 if result["detected"] else 1
+
+    print(
+        f"\n== streaming diagnosis: {result['machines']} machines across "
+        f"{result['zones']} zone(s), fault '{result['fault']}' on "
+        f"{result['victim']} at round {result['fault_round']}"
+    )
+    print(f"  shard sizes: {result['shard_sizes']}")
+    print(
+        f"  coarse roll-ups over TCP: {result['wire_reports_accepted']} "
+        f"accepted; monitor cost "
+        f"{result['monitor_cost_per_round_ms']:.3f} ms/round"
+    )
+    if not result["detected"]:
+        print("\n== !! injected fault was never detected")
+        return 1
+    print(
+        f"  detected in {result['detection_rounds']} round(s) after "
+        f"injection"
+        + (
+            f"; de-escalated at round {result['resolved_round']}"
+            if result["resolved_round"] is not None else ""
+        )
+    )
+    for inc in incidents:
+        print(
+            f"\n== incident #{inc.id}: {inc.machine} "
+            f"({inc.reason}, {inc.state})"
+        )
+        for v in inc.verdicts:
+            print(f"  verdict: {v}")
+        if inc.trace_id:
+            print(f"  trace {inc.trace_id[:8]}...:")
+            print(hub.spans.render_tree(inc.trace_id))
+    print("== daemon metrics")
+    for line in hub.metrics.render_prometheus().splitlines():
+        if line.startswith("perfsight_daemon_") and " " in line \
+                and not line.startswith("#"):
+            print(f"  {line}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.cli",
@@ -1181,6 +1467,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit one JSON document instead of the human-readable report",
     )
     p_chaos.set_defaults(fn=cmd_chaos)
+    p_watch = sub.add_parser(
+        "watch",
+        help="always-on streaming diagnosis: live coarse rounds over "
+        "TCP, an injected fault, two-phase escalation, the incident "
+        "as one linked trace",
+    )
+    p_watch.add_argument(
+        "--machines", type=int, default=6, help="fleet size (default 6)"
+    )
+    p_watch.add_argument(
+        "--zones", type=int, default=2, help="zone count (default 2)"
+    )
+    p_watch.add_argument(
+        "--rounds", type=int, default=16,
+        help="monitoring rounds to run (default 16)",
+    )
+    p_watch.add_argument(
+        "--fault-round", type=int, default=4,
+        help="round at which the fault is injected (default 4)",
+    )
+    p_watch.add_argument(
+        "--fault", choices=("drop", "crash"), default="drop",
+        help="fault kind: traffic spike past a vNIC cap, or the "
+        "victim's agent going quiet (default drop)",
+    )
+    p_watch.add_argument(
+        "--window-s", type=float, default=0.25,
+        help="monitoring window per round in simulated seconds "
+        "(default 0.25)",
+    )
+    p_watch.add_argument(
+        "--quick", action="store_true",
+        help="CI smoke shape: at most 4 machines, 12 rounds",
+    )
+    p_watch.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document instead of the live feed; exits "
+        "non-zero if the injected fault was not detected",
+    )
+    p_watch.set_defaults(fn=cmd_watch)
     return parser
 
 

@@ -82,6 +82,24 @@ def _default_push_retry():
     return _DEFAULT_PUSH_RETRY
 
 
+def _accepts_trace(target: "PushTarget") -> bool:
+    """Whether a push target's ``ingest_push`` takes the trace kwarg.
+
+    Probed once per target assignment (not per push) so trace
+    propagation degrades gracefully against older shims without paying
+    ``inspect`` on the hot path.
+    """
+    import inspect
+
+    try:
+        sig = inspect.signature(target.ingest_push)
+    except (TypeError, ValueError):  # builtins / C-level callables
+        return False
+    return "trace" in sig.parameters or any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in sig.parameters.values()
+    )
+
+
 def _env_float(name: str, default: float) -> float:
     """Parse a positive-float env knob, failing loudly at startup.
 
@@ -126,6 +144,7 @@ class PushTarget(Protocol):
         machine_name: str,
         blocks: List[SeriesBlock],
         cursor: Optional[Dict[str, int]] = None,
+        trace: Optional[Dict[str, str]] = None,
     ) -> int: ...
 
 
@@ -158,6 +177,7 @@ class Agent:
         # cursor (what the zone has confirmed received), and counters.
         self._push_handle: Optional[PeriodicHandle] = None
         self._push_target: Optional[PushTarget] = None
+        self._push_trace_ok = False
         self._push_acked: Dict[str, int] = {}
         self.push_period_s: Optional[float] = None
         self.total_pushes = 0
@@ -356,6 +376,23 @@ class Agent:
         self._poll_handle = self.sim.schedule_every(period_s, self.poll_once)
         return self._poll_handle
 
+    def set_poll_period(self, period_s: float) -> PeriodicHandle:
+        """Retarget the sweep cadence in place (escalation tightening).
+
+        The streaming daemon's escalation lever: a flagged machine's
+        channels are swept faster while its incident is open, then the
+        saved cadence is restored on de-escalation.  Works whether or
+        not the agent is currently polling — a non-polling agent simply
+        starts (so an escalated push-mode agent gets dense samples too).
+        """
+        if period_s <= 0:
+            raise ValueError(f"poll period must be positive: {period_s!r}")
+        if self._poll_handle is not None and self._poll_handle.active:
+            self._poll_handle.cancel()
+        self.poll_period_s = period_s
+        self._poll_handle = self.sim.schedule_every(period_s, self.poll_once)
+        return self._poll_handle
+
     def stop_polling(self) -> None:
         if self._poll_handle is not None:
             self._poll_handle.cancel()
@@ -415,6 +452,7 @@ class Agent:
         if self._push_handle is not None and self._push_handle.active:
             raise RuntimeError(f"agent {self.name!r} is already pushing")
         self._push_target = zone
+        self._push_trace_ok = _accepts_trace(zone)
         self._push_resolver = resolver
         self._rehome_after = rehome_after
         self._push_retry = retry if retry is not None else _default_push_retry()
@@ -465,27 +503,39 @@ class Agent:
             return 0
         cursor = self.store.cursor()
         rows = sum(len(block_rows) for _, _, _, block_rows in blocks)
-        try:
-            zone.ingest_push(self.machine.name, blocks, cursor)
-        except (ConnectionError, OSError):
-            self.total_push_errors += 1
-            self.push_consecutive_failures += 1
-            obs.counter(PUSHES_METRIC, agent=self.name, ok="false")
-            obs.gauge(
-                PUSH_FAILURES_METRIC,
-                float(self.push_consecutive_failures),
-                agent=self.name,
-            )
-            retry = self._push_retry or _default_push_retry()
-            self._push_backoff_until = self.sim.now + retry.backoff_s(
-                self.push_consecutive_failures - 1, self.sim.rng
-            )
-            if (
-                self._push_resolver is not None
-                and self.push_consecutive_failures >= self._rehome_after
-            ):
-                self._rehome()
-            return 0
+        with obs.span("agent.push", agent=self.name, rows=rows) as sp:
+            # The push span's context crosses to the zone tier exactly
+            # like a pulled BATCH_DELTA's does, so push deliveries link
+            # into the same trace tree as pulls (incident traces included).
+            ctx = obs.current_trace()
+            try:
+                if self._push_trace_ok:
+                    zone.ingest_push(
+                        self.machine.name, blocks, cursor,
+                        trace=ctx.to_wire() if ctx is not None else None,
+                    )
+                else:
+                    zone.ingest_push(self.machine.name, blocks, cursor)
+            except (ConnectionError, OSError) as exc:
+                sp.set("error", repr(exc))
+                self.total_push_errors += 1
+                self.push_consecutive_failures += 1
+                obs.counter(PUSHES_METRIC, agent=self.name, ok="false")
+                obs.gauge(
+                    PUSH_FAILURES_METRIC,
+                    float(self.push_consecutive_failures),
+                    agent=self.name,
+                )
+                retry = self._push_retry or _default_push_retry()
+                self._push_backoff_until = self.sim.now + retry.backoff_s(
+                    self.push_consecutive_failures - 1, self.sim.rng
+                )
+                if (
+                    self._push_resolver is not None
+                    and self.push_consecutive_failures >= self._rehome_after
+                ):
+                    self._rehome()
+                return 0
         self._push_acked = cursor
         if self.push_consecutive_failures:
             self.push_consecutive_failures = 0
@@ -518,6 +568,7 @@ class Agent:
         if target is None or target is self._push_target:
             return
         self._push_target = target
+        self._push_trace_ok = _accepts_trace(target)
         self._push_acked = {}
         self.push_consecutive_failures = 0
         self._push_backoff_until = 0.0

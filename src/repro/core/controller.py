@@ -68,6 +68,7 @@ from typing import (
     Dict,
     Iterable,
     List,
+    Mapping,
     Optional,
     Protocol,
     Tuple,
@@ -81,6 +82,8 @@ from repro.core.counters import CounterSnapshot, CounterWindow
 from repro.core.health import (
     DEAD,
     HEALTHY,
+    ZONE_LIVENESS_METRIC,
+    ZONE_STATE_VALUES,
     AgentHealth,
     DataQuality,
     HealthPolicy,
@@ -108,6 +111,7 @@ ZONE_REPORTS_METRIC = "perfsight_fleet_zone_reports_total"
 FAILOVERS_METRIC = "perfsight_fleet_failovers_total"
 REHOMED_METRIC = "perfsight_fleet_rehomed_machines_total"
 ZONE_AGE_METRIC = "perfsight_fleet_zone_report_age_seconds"
+ZONE_ACTIVE_METRIC = "perfsight_fleet_zone_active"
 
 T = TypeVar("T")
 
@@ -461,6 +465,7 @@ class ZoneController:
         machine_name: str,
         blocks: List[SeriesBlock],
         cursor: Optional[Dict[str, int]] = None,
+        trace: Optional[Mapping[str, object]] = None,
     ) -> int:
         """Apply agent-pushed delta blocks to the machine's mirror.
 
@@ -474,16 +479,26 @@ class ZoneController:
 
         A push also counts as a successful collection exchange for the
         agent's health state machine: data arriving proves the path up.
+
+        ``trace`` is the pushing agent's serialized
+        :class:`~repro.obs.TraceContext`; when present the ingest span
+        links under the agent's push span exactly like a served
+        BATCH_DELTA links under the puller — push deliveries land in the
+        same incident trace tree as pulled ones.
         """
         mirror = self.mirror_for(machine_name)
-        with mirror._sync_lock:
-            shipped = mirror.store.apply_blocks(blocks)
-            if cursor:
-                merged = dict(mirror.acked)
-                merged.update(cursor)
-                mirror.acked = merged
-            mirror.snapshots_received += shipped
-            mirror.health.record_success()
+        with obs.span_from_wire(
+            "zone.ingest_push", trace, machine=machine_name, zone=self.name
+        ) as sp:
+            with mirror._sync_lock:
+                shipped = mirror.store.apply_blocks(blocks)
+                if cursor:
+                    merged = dict(mirror.acked)
+                    merged.update(cursor)
+                    mirror.acked = merged
+                mirror.snapshots_received += shipped
+                mirror.health.record_success()
+            sp.set("rows", shipped)
         with self._registry_lock:
             self.pushed_rows += shipped
         obs.counter(PUSH_ROWS_METRIC, float(shipped), machine=machine_name)
@@ -751,13 +766,20 @@ class ZoneController:
         with self._report_lock:
             self._report_seq = max(self._report_seq, seq)
 
-    def _summarize_machine(self, machine: str, report, window_s: float):
-        """One machine's scalar summary from its mirror + scan report."""
-        from repro.core.diagnosis.report import MachineSummary
+    def _window_scalars(
+        self, machine: str, window_s: float
+    ) -> Tuple[float, float, float, int, Optional[float]]:
+        """Figure-6 rates off one machine's trailing mirror window.
 
+        Returns ``(rx_pkts, rx_bytes, lost, elements, last_ts)`` where
+        ``last_ts`` is the freshest sample timestamp seen (None when the
+        mirror is empty).  O(elements) memoized window lookups — this is
+        the entire per-machine cost of the coarse monitoring phase.
+        """
         mirror = self.mirror_for(machine)
         rx_pkts = rx_bytes = lost = 0.0
         elements = 0
+        last_ts: Optional[float] = None
         for eid in mirror.store.element_ids():
             try:
                 win = mirror.store.window_ending_now(eid, window_s)
@@ -767,6 +789,18 @@ class ZoneController:
             rx_pkts += win.delta("rx_pkts")
             rx_bytes += win.delta("rx_bytes")
             lost += max(0.0, win.pkt_loss())
+            ts = win.end.timestamp
+            last_ts = ts if last_ts is None else max(last_ts, ts)
+        return rx_pkts, rx_bytes, lost, elements, last_ts
+
+    def _summarize_machine(self, machine: str, report, window_s: float):
+        """One machine's scalar summary from its mirror + scan report."""
+        from repro.core.diagnosis.report import MachineSummary
+
+        mirror = self.mirror_for(machine)
+        rx_pkts, rx_bytes, lost, elements, _ = self._window_scalars(
+            machine, window_s
+        )
         dt = max(window_s, 1e-9)
         return MachineSummary(
             machine=machine,
@@ -779,6 +813,59 @@ class ZoneController:
             elements=elements,
             missing_elements=len(report.missing_elements),
             verdicts=tuple(report.verdicts),
+        )
+
+    def build_coarse_report(
+        self, window_s: float = 1.0, now: Optional[float] = None
+    ):
+        """Phase-1 roll-up: rates + health straight off the mirrors.
+
+        The cheap half of two-phase streaming diagnosis: no Algorithm-1
+        scan, no agent RPC, no window advance — just the memoized
+        trailing-window scalars every machine's mirror already holds
+        (agents push deltas on change, so the mirrors are current).
+        ``now`` (the caller's clock — simulated time in tests) turns on
+        the per-machine ``age_s`` staleness signal: the daemon's
+        detector reads it to catch machines that silently stopped
+        reporting.  Shares the zone's report sequence with the
+        diagnosis-backed :meth:`build_zone_report`, so the root's
+        monotonic replay dedup spans both kinds.
+        """
+        from repro.core.diagnosis.report import (
+            CONFIDENCE_DEGRADED,
+            CONFIDENCE_FULL,
+            MachineSummary,
+            ZoneReport,
+        )
+
+        summaries: Dict[str, "MachineSummary"] = {}
+        dt = max(window_s, 1e-9)
+        for machine in self.machines():
+            rx_pkts, rx_bytes, lost, elements, last_ts = self._window_scalars(
+                machine, window_s
+            )
+            health = self.mirror_for(machine).health.state
+            age = 0.0
+            if now is not None and last_ts is not None:
+                age = max(0.0, now - last_ts)
+            summaries[machine] = MachineSummary(
+                machine=machine,
+                health=health,
+                confidence=(
+                    CONFIDENCE_FULL if health == HEALTHY else CONFIDENCE_DEGRADED
+                ),
+                loss_pkts=lost,
+                throughput_pps=rx_pkts / dt,
+                pkt_loss_rate=(lost / rx_pkts) if rx_pkts > 0 else 0.0,
+                avg_pkt_size=(rx_bytes / rx_pkts) if rx_pkts > 0 else 0.0,
+                elements=elements,
+                age_s=age,
+            )
+        with self._report_lock:
+            self._report_seq += 1
+            seq = self._report_seq
+        return ZoneReport(
+            zone=self.name, seq=seq, window_s=window_s, machines=summaries
         )
 
     # -- health and data quality ---------------------------------------------------------
@@ -1092,6 +1179,8 @@ class FleetController:
             self._zones[zone] = record
         self.ring.add_node(zone)
         moves = moved_keys(before, self._assignment())
+        obs.gauge(ZONE_LIVENESS_METRIC, ZONE_STATE_VALUES[HEALTHY], zone=zone)
+        obs.gauge(ZONE_ACTIVE_METRIC, 1.0, zone=zone)
         obs.event(
             "fleet.zone_joined", obs.INFO,
             zone=zone, moves=len(moves), zones=len(self._zones),
@@ -1235,6 +1324,16 @@ class FleetController:
             age = record.health.age_s(now)
             if age is not None:
                 obs.gauge(ZONE_AGE_METRIC, age, zone=record.zone)
+            # Steady-state export (not just on transition): a freshly
+            # scraped root always shows every zone's current liveness.
+            obs.gauge(
+                ZONE_LIVENESS_METRIC, ZONE_STATE_VALUES[state], zone=record.zone
+            )
+            obs.gauge(
+                ZONE_ACTIVE_METRIC,
+                1.0 if record.active else 0.0,
+                zone=record.zone,
+            )
         moves = moved_keys(before, self._assignment()) if (
             failed_over or recovered
         ) else {}

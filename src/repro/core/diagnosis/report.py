@@ -303,6 +303,10 @@ class MachineSummary:
     elements: int = 0
     missing_elements: int = 0
     verdicts: Tuple[Verdict, ...] = ()
+    #: Age of the machine's freshest mirror sample at roll-up time, in
+    #: seconds.  0.0 when unknown (pre-streaming producers) — the wire
+    #: format defaults keep old peers readable.
+    age_s: float = 0.0
 
     @property
     def degraded(self) -> bool:
@@ -320,6 +324,7 @@ class MachineSummary:
             "elements": self.elements,
             "missing_elements": self.missing_elements,
             "verdicts": [_verdict_to_wire(v) for v in self.verdicts],
+            "age_s": self.age_s,
         }
 
     @classmethod
@@ -337,6 +342,7 @@ class MachineSummary:
             verdicts=tuple(
                 _verdict_from_wire(v) for v in payload.get("verdicts", ())
             ),
+            age_s=float(payload.get("age_s", 0.0)),
         )
 
 

@@ -255,6 +255,12 @@ class DataQuality:
 
 #: Self-observability names for the zone state machine.
 ZONE_TRANSITIONS_METRIC = "perfsight_zone_health_transitions_total"
+ZONE_LIVENESS_METRIC = "perfsight_fleet_zone_liveness_state"
+
+#: Numeric encoding of zone liveness for the labelled root gauge —
+#: same style as the wire circuit gauge (closed=0/half_open=1/open=2):
+#: dashboards alert on ``> 0`` without parsing state strings.
+ZONE_STATE_VALUES = {HEALTHY: 0.0, SUSPECT: 1.0, DEAD: 2.0}
 
 _ZONE_SEVERITY = {HEALTHY: obs.INFO, SUSPECT: obs.WARNING, DEAD: obs.ERROR}
 
@@ -371,6 +377,7 @@ class ZoneHealth:
     def _transition(self, new_state: str) -> None:
         self.transitions.append((self.state, new_state))
         obs.counter(ZONE_TRANSITIONS_METRIC, to=new_state)
+        obs.gauge(ZONE_LIVENESS_METRIC, ZONE_STATE_VALUES[new_state], zone=self.name)
         obs.event(
             "zone_health.transition",
             _ZONE_SEVERITY[new_state],

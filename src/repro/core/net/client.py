@@ -266,6 +266,11 @@ class CircuitBreaker:
         self.opens = 0
         #: Every (from_state, to_state) edge taken, in order.
         self.transitions: List[Tuple[str, str]] = []
+        # Export the initial CLOSED state so a scraped exposition shows
+        # every endpoint's breaker, not just the ones that tripped.
+        obs.gauge(
+            CIRCUIT_STATE_METRIC, _CIRCUIT_GAUGE[self.state], agent=self.name
+        )
 
     def allow(self) -> Tuple[bool, float]:
         """May a call proceed?  Returns (allowed, cooldown remaining).

@@ -102,8 +102,9 @@ _ID_SEQ = struct.Struct("<Iq")
 _DICT_HEAD = struct.Struct("<BIH")
 _BLOCK_HEAD = struct.Struct("<IIH")
 #: One machine summary's fixed scalar section: health id, confidence
-#: id, four f64 rates, element/missing counts, verdict count.
-_SUMMARY_HEAD = struct.Struct("<IIddddIIH")
+#: id, five f64 rates (incl. sample age), element/missing counts,
+#: verdict count.
+_SUMMARY_HEAD = struct.Struct("<IIdddddIIH")
 
 #: Precompiled row codecs keyed by attrs-per-row stride.
 _ROW_STRUCTS: Dict[int, struct.Struct] = {}
@@ -583,6 +584,7 @@ def encode_zone_report(
             float(summary.get("throughput_pps", 0.0)),
             float(summary.get("pkt_loss_rate", 0.0)),
             float(summary.get("avg_pkt_size", 0.0)),
+            float(summary.get("age_s", 0.0)),
             int(summary.get("elements", 0)),
             int(summary.get("missing_elements", 0)),
             len(verdicts),
@@ -666,6 +668,7 @@ def decode_zone_report(
             throughput_pps,
             pkt_loss_rate,
             avg_pkt_size,
+            age_s,
             elements,
             missing,
             verdict_count,
@@ -692,6 +695,7 @@ def decode_zone_report(
                 "throughput_pps": throughput_pps,
                 "pkt_loss_rate": pkt_loss_rate,
                 "avg_pkt_size": avg_pkt_size,
+                "age_s": age_s,
                 "elements": elements,
                 "missing_elements": missing,
                 "verdicts": verdicts,

@@ -41,6 +41,7 @@ from repro.obs.events import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    DETECTION_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -53,11 +54,11 @@ __all__ = [
     "DEBUG", "INFO", "WARNING", "ERROR", "SEVERITIES",
     "Event", "EventLog",
     "Counter", "Gauge", "Histogram", "MetricsError", "MetricsRegistry",
-    "DEFAULT_BUCKETS",
+    "DEFAULT_BUCKETS", "DETECTION_LATENCY_BUCKETS",
     "Span", "SpanRecorder", "TraceContext",
     "Observability", "install", "uninstall", "installed", "current",
     "enabled", "counter", "gauge", "observe", "event", "span",
-    "span_from_wire", "current_trace",
+    "span_from_wire", "current_trace", "start_span", "attached",
 ]
 
 
@@ -87,6 +88,12 @@ class _NullSpan:
         pass
 
     def set(self, key: str, value: object) -> "_NullSpan":
+        return self
+
+    def start(self) -> "_NullSpan":
+        return self
+
+    def finish(self, status: Optional[str] = None) -> "_NullSpan":
         return self
 
 
@@ -149,11 +156,16 @@ def gauge(name: str, value: float, **labels) -> None:
         hub.metrics.gauge(name, **labels).set(value)
 
 
-def observe(name: str, value: float, **labels) -> None:
-    """Observe into a histogram — no-op without a hub."""
+def observe(name: str, value: float, buckets=None, **labels) -> None:
+    """Observe into a histogram — no-op without a hub.
+
+    ``buckets`` picks a bucket preset (e.g.
+    :data:`DETECTION_LATENCY_BUCKETS`) and is honored only by the call
+    that first registers the family, matching the registry semantics.
+    """
     hub = _HUB
     if hub is not None:
-        hub.metrics.histogram(name, **labels).observe(value)
+        hub.metrics.histogram(name, buckets=buckets, **labels).observe(value)
 
 
 def event(name: str, severity: str = INFO, **fields) -> None:
@@ -182,6 +194,31 @@ def span_from_wire(name: str, wire_ctx: object, **attrs):
     if hub is None:
         return _NULL_SPAN
     return hub.spans.span_from_wire(name, TraceContext.from_wire(wire_ctx), **attrs)
+
+
+def start_span(name: str, **attrs):
+    """A started *detached* span for long-lived work — no-op without a hub.
+
+    Unlike :func:`span` it is not a context manager: the caller keeps it
+    open across arbitrarily many calls (an incident spanning many
+    monitoring rounds), nests children under it via :func:`attached`,
+    and closes it with ``finish()``.
+    """
+    hub = _HUB
+    if hub is None:
+        return _NULL_SPAN
+    return hub.spans.start_span(name, **attrs)
+
+
+@contextmanager
+def attached(span_obj) -> Iterator[object]:
+    """Make a detached span current for the block — no-op without a hub."""
+    hub = _HUB
+    if hub is None or isinstance(span_obj, _NullSpan):
+        yield span_obj
+        return
+    with hub.spans.attach(span_obj):
+        yield span_obj
 
 
 def current_trace() -> Optional[TraceContext]:

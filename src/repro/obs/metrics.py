@@ -44,6 +44,15 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     1.0, 2.5, 5.0, 10.0,
 )
 
+#: Bucket preset for detection-latency style histograms measured in
+#: *monitoring rounds* rather than seconds.  The streaming daemon
+#: detects injected faults within single-digit rounds, so the
+#: micro-second wire buckets above would collapse every observation
+#: into one bucket; these resolve 1..64 rounds instead.
+DETECTION_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0, 48.0, 64.0,
+)
+
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 

@@ -25,9 +25,10 @@ import random
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, Iterator, List, Mapping, Optional
 
 #: Default ring-buffer retention for finished spans.
 DEFAULT_MAX_SPANS = 4096
@@ -116,6 +117,32 @@ class Span:
     def context(self) -> TraceContext:
         return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
 
+    def start(self) -> "Span":
+        """Start the clock without making the span current.
+
+        This is the manual half of the detached-span lifecycle used for
+        long-lived work (an open incident spanning many daemon rounds):
+        the span outlives any single call stack, so it cannot ride the
+        context variable the way ``with`` spans do.  Pair with
+        :meth:`finish`, and with :meth:`SpanRecorder.attach` to nest
+        children under it from arbitrary call sites in between.
+        """
+        self.start_s = time.perf_counter()
+        return self
+
+    def finish(self, status: Optional[str] = None) -> "Span":
+        """Close and record a detached span (one begun via :meth:`start`).
+
+        Must not be combined with the context-manager protocol on the
+        same span — ``__exit__`` already records, and a second record
+        would duplicate the span in the ring.
+        """
+        self.end_s = time.perf_counter()
+        if status is not None:
+            self.status = status
+        self._recorder._record(self)
+        return self
+
     def __enter__(self) -> "Span":
         self._token = _CURRENT.set(self)
         self.start_s = time.perf_counter()
@@ -194,6 +221,30 @@ class SpanRecorder:
             self, name, ctx.trace_id, self._new_id(), ctx.span_id, attrs,
             remote_parent=True,
         )
+
+    def start_span(self, name: str, **attrs) -> Span:
+        """A started *detached* span: parented on the ambient context but
+        not made current.
+
+        The caller owns its lifecycle — :meth:`Span.finish` records it,
+        and :meth:`attach` temporarily makes it current so child spans
+        created elsewhere nest under it.  This is how an incident that
+        stays open across many monitoring rounds becomes one trace.
+        """
+        return self.span(name, **attrs).start()
+
+    @contextmanager
+    def attach(self, span: Span) -> Iterator[Span]:
+        """Make a detached span current for the block, without recording.
+
+        Children opened inside the block parent on ``span``; leaving the
+        block restores the previous context and leaves ``span`` open.
+        """
+        token = _CURRENT.set(span)
+        try:
+            yield span
+        finally:
+            _CURRENT.reset(token)
 
     def current(self) -> Optional[Span]:
         """The innermost active span in this thread/context, if any."""

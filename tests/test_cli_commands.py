@@ -41,6 +41,19 @@ class TestParser:
         assert args.agents == 2 and args.latency_ms == 1.0 and args.json
         assert "fleet" in EXPERIMENTS
 
+    def test_watch_flags(self):
+        args = build_parser().parse_args(["watch"])
+        assert args.machines == 6 and args.zones == 2
+        assert args.rounds == 16 and args.fault_round == 4
+        assert args.fault == "drop" and not args.json and not args.quick
+        args = build_parser().parse_args(
+            ["watch", "--fault", "crash", "--quick", "--json"]
+        )
+        assert args.fault == "crash" and args.quick and args.json
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["watch", "--fault", "nope"])
+        assert "watch" in EXPERIMENTS
+
 
 @pytest.mark.slow
 class TestHeavyCommands:
@@ -85,3 +98,32 @@ class TestHeavyCommands:
         assert set(doc["machines"]) == {"host-0", "host-1"}
         assert all(m["ok"] for m in doc["machines"].values())
         assert doc["diagnosis"]["degraded_machines"] == []
+
+    def test_watch_json_detects_injected_fault(self, capsys):
+        import json
+
+        assert main(["watch", "--quick", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["detected"]
+        assert doc["detection_rounds"] <= 3
+        assert doc["victim"] == "host-000"
+        (incident,) = [
+            i for i in doc["incidents"] if i["machine"] == doc["victim"]
+        ]
+        assert incident["reason"] == "loss_rate"
+        assert incident["trace_id"]
+        assert incident["verdicts"]
+        assert doc["wire_reports_accepted"] > 0
+        assert "perfsight_daemon_incidents_total" in doc["prometheus"]
+        assert any(e["name"] == "incident.opened" for e in doc["events"])
+
+    def test_watch_human_report_renders_the_trace(self, capsys):
+        assert main(["watch", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "OPEN host-000" in out
+        assert "incident #1: host-000" in out
+        assert "incident.detector" in out
+        assert "incident.escalation" in out
+        assert "incident.diagnosis" in out
+        assert "incident.verdict" in out
+        assert "perfsight_daemon_escalations_total" in out
