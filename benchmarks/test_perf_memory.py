@@ -1,0 +1,279 @@
+"""Bounded-memory history plane: tiered store vs flat-ring baseline.
+
+ROADMAP item 3: controller memory must be sub-linear in history depth.
+A flat mirror ring holding hours of per-element history costs
+O(elements x window) per machine; the tiered store keeps the most
+recent slots at full resolution and coarsens evicted rows into
+fanout^k-slot buckets, so the same retention *span* costs a small
+constant per element.
+
+This benchmark builds a ``PERFSIGHT_MEMORY_MACHINES``-machine fleet
+(default 600) of deterministic synthetic agents, feeds
+``PERFSIGHT_MEMORY_HISTORY_S`` seconds of 1 Hz history (default 3600 —
+one hour) through the real BATCH_DELTA apply path into two identically
+sharded zone tiers — one on flat stores sized to hold the whole hour,
+one on the tiered store — and asserts:
+
+* >=10x reduction in controller-side history bytes at the 1 h default
+  (partially filled tiers at shorter quick-mode histories only have to
+  beat 1.5x);
+* Algorithm-1 fleet verdicts over the live window are *exactly* equal
+  between the two store shapes (the fine ring is byte-identical to a
+  flat ring, so this is structural, and here it is checked);
+* the root tier's sketch aggregates stay under a fixed per-machine
+  byte budget and survive the bin1 wire byte-identically.
+
+Artifacts: ``benchmarks/out/BENCH_perf_memory.json``.
+"""
+
+import os
+
+from repro.core.controller import FleetController, ZoneController
+from repro.core.net import codec as wire_codec
+from repro.core.net.codec import WireSchema
+from repro.core.sharding import HashRing
+from repro.core.store import TimeSeriesStore
+from repro.core.tiers import TierConfig, TieredWindowStore
+
+MACHINES = int(os.environ.get("PERFSIGHT_MEMORY_MACHINES", "600"))
+HISTORY_S = int(os.environ.get("PERFSIGHT_MEMORY_HISTORY_S", "3600"))
+N_ZONES = 4
+LOSS_EVERY = 10
+LOSS_PPS = 50.0
+#: The tiered shape under test: 128 fine slots, then 4 tiers of 16
+#: buckets spanning 4/16/64/256 slots — 5568 slot-equivalents of
+#: retention, comfortably past the 1 h default at 1 Hz.
+TIER_CONFIG = TierConfig(fine_slots=128, fanout=4, coarse_slots=16, coarse_tiers=4)
+#: Required history-bytes reduction at >= 1 h of history; shorter
+#: quick-mode histories only fill the tiers partway.
+MIN_REDUCTION_FULL = 10.0
+MIN_REDUCTION_QUICK = 1.5
+#: Root-tier budget for the sketch aggregates (top-k + histogram).
+MAX_ROOT_AGG_BYTES_PER_MACHINE = 256
+
+
+class TickWorld:
+    """Shared virtual clock: 1 tick == 1 simulated second."""
+
+    def __init__(self, tick: int = 1) -> None:
+        self.tick = tick
+
+    def advance(self, _window_s: float = 1.0) -> None:
+        self.tick += 1
+
+
+class MemoryAgent:
+    """AgentHandle with tick-derived counters and no simulated RTT.
+
+    Same two-element shape as the scale benchmark's SyntheticAgent —
+    a clean pNIC and a (possibly lossy) tun — minus the latency sleep:
+    this benchmark measures bytes, not wall clock.
+    """
+
+    def __init__(self, world: TickWorld, machine: str, lossy: bool) -> None:
+        self.world = world
+        self.name = f"agent@{machine}"
+        self.machine = machine
+        self.lossy = lossy
+        self._pnic = f"pnic@{machine}"
+        self._tun = f"tun-v1@{machine}"
+
+    def _values(self, eid: str, tick: int):
+        rx = 1000.0 * tick
+        if eid == self._pnic:
+            return ("rx_pkts", "rx_bytes", "tx_pkts"), (rx, 800.0 * rx, rx)
+        loss = LOSS_PPS * tick if self.lossy else 0.0
+        return (
+            ("rx_pkts", "rx_bytes", "tx_pkts", "drops.tun-v1"),
+            (rx, 800.0 * rx, rx - loss, loss),
+        )
+
+    def element_ids(self):
+        return [self._pnic, self._tun]
+
+    def stack_element_ids(self):
+        return [self._pnic, self._tun]
+
+    def collect_blocks(self, acked=None):
+        acked = acked or {}
+        tick = self.world.tick
+        blocks = []
+        for eid in self.element_ids():
+            floor = int(acked.get(eid, 0))
+            rows = []
+            for seq in range(floor + 1, tick + 1):
+                names, values = self._values(eid, seq)
+                rows.append((seq, float(seq), values))
+            if rows:
+                blocks.append((eid, self.machine, names, rows))
+        return blocks, {eid: tick for eid in self.element_ids()}
+
+
+def build_agents(world):
+    return {
+        f"m{i:04d}": MemoryAgent(world, f"m{i:04d}", lossy=i % LOSS_EVERY == 0)
+        for i in range(MACHINES)
+    }
+
+
+def shard_fleet(agents, store_factory):
+    ring = HashRing()
+    zones = {}
+    for z in range(N_ZONES):
+        name = f"zone-{z}"
+        ring.add_node(name)
+        zones[name] = ZoneController(name, store_factory=store_factory)
+    for machine, agent in agents.items():
+        zones[ring.node_for(machine)].register_agent(machine, agent)
+    return zones
+
+
+def fleet_nbytes(zones):
+    """Per-tier history bytes summed across all zone controllers."""
+    totals = {}
+    for zc in zones.values():
+        for tier, n in zc.store_nbytes().items():
+            totals[tier] = totals.get(tier, 0) + n
+    return totals
+
+
+def test_tiered_memory_vs_flat_with_verdict_equality(paper_report):
+    world = TickWorld()
+    agents = build_agents(world)
+    flat_capacity = max(HISTORY_S, 2)
+    tiered_zones = shard_fleet(
+        agents, lambda: TieredWindowStore(config=TIER_CONFIG)
+    )
+    flat_zones = shard_fleet(
+        agents, lambda: TimeSeriesStore(capacity_per_element=flat_capacity)
+    )
+
+    # -- feed HISTORY_S seconds of 1 Hz history through BATCH_DELTA ----------
+    world.tick = HISTORY_S
+    for zones in (flat_zones, tiered_zones):
+        for zc in zones.values():
+            zc.refresh()
+
+    flat_bytes = fleet_nbytes(flat_zones)
+    tiered_bytes = fleet_nbytes(tiered_zones)
+    reduction = flat_bytes["total"] / tiered_bytes["total"]
+    min_reduction = (
+        MIN_REDUCTION_FULL if HISTORY_S >= 3600 else MIN_REDUCTION_QUICK
+    )
+    assert reduction >= min_reduction, (
+        f"tiered store reduced history bytes only {reduction:.1f}x vs the "
+        f"flat baseline at {HISTORY_S}s of history (floor {min_reduction}x)"
+    )
+    # The whole point: history span survives eviction.  Every mirror
+    # still answers about the start of the hour.
+    a_zone = tiered_zones["zone-0"]
+    a_machine = a_zone.machines()[0]
+    store = a_zone.mirror_for(a_machine).store
+    oldest, newest = store.retention_span(f"pnic@{a_machine}")
+    assert newest == float(HISTORY_S)
+    assert (newest - oldest) > min(HISTORY_S - 1, TIER_CONFIG.fine_slots * 2)
+
+    # -- Algorithm-1 verdicts: tiered == flat, exactly -----------------------
+    flat_scans = {
+        name: zc.begin_fleet_scan(1.0) for name, zc in flat_zones.items()
+    }
+    tiered_scans = {
+        name: zc.begin_fleet_scan(1.0) for name, zc in tiered_zones.items()
+    }
+    world.advance()
+    flat_verdicts = {}
+    flat_reports = {}
+    for name, zc in flat_zones.items():
+        diag = zc.finish_fleet_scan(flat_scans[name])
+        flat_verdicts.update(diag.verdicts)
+        flat_reports[name] = zc.build_zone_report(diag)
+    tiered_verdicts = {}
+    tiered_reports = {}
+    for name, zc in tiered_zones.items():
+        diag = zc.finish_fleet_scan(tiered_scans[name])
+        tiered_verdicts.update(diag.verdicts)
+        tiered_reports[name] = zc.build_zone_report(diag)
+    verdicts_equal = tiered_verdicts == flat_verdicts
+    assert verdicts_equal, "tiered store changed live-window verdicts"
+    assert len(tiered_verdicts) == MACHINES // LOSS_EVERY + (
+        1 if MACHINES % LOSS_EVERY else 0
+    )
+
+    # -- root tier: sketch aggregates, bounded and wire-stable ---------------
+    fleet = FleetController("bench-root")
+    fleet.track_machines(agents)
+    for name in tiered_zones:
+        fleet.register_zone(name)
+    wire_identical = True
+    for name, report in tiered_reports.items():
+        wire = report.to_wire()
+        raw = wire_codec.encode_zone_report(WireSchema(), wire)
+        decoded, _ = wire_codec.decode_zone_report(WireSchema(), raw)
+        again = wire_codec.encode_zone_report(WireSchema(), decoded)
+        wire_identical = wire_identical and (again == raw)
+        assert fleet.ingest_zone_report(report)
+    assert wire_identical, "bin1 aggregates did not round-trip byte-identically"
+    rollup = fleet.rollup()
+    agg = rollup.aggregates
+    assert agg is not None
+    root_agg_bytes = sum(
+        rec.latest.aggregates.nbytes()
+        for rec in (fleet.zone_record(z) for z in fleet.zones())
+    )
+    root_agg_bytes_per_machine = root_agg_bytes / MACHINES
+    assert root_agg_bytes_per_machine < MAX_ROOT_AGG_BYTES_PER_MACHINE
+    # The sketches answer the fleet questions they exist for.
+    droppers = rollup.top_droppers(5)
+    assert droppers and all(
+        int(m[1:]) % LOSS_EVERY == 0 for m, _ in droppers
+    )
+    assert rollup.loss_rate_quantile(0.5) is not None
+
+    per_machine_flat = flat_bytes["total"] / MACHINES
+    per_machine_tiered = tiered_bytes["total"] / MACHINES
+    paper_report(
+        "perf_memory",
+        "\n".join(
+            [
+                f"fleet: {MACHINES} machines x 2 elements, {HISTORY_S}s of "
+                f"1 Hz history, {N_ZONES} zones",
+                f"flat baseline ({flat_capacity}-slot rings): "
+                f"{flat_bytes['total'] / 1e6:.1f} MB "
+                f"({per_machine_flat / 1024:.1f} KiB/machine)",
+                f"tiered ({TIER_CONFIG.fine_slots} fine, fanout "
+                f"{TIER_CONFIG.fanout}, {TIER_CONFIG.coarse_tiers} tiers x "
+                f"{TIER_CONFIG.coarse_slots}): "
+                f"{tiered_bytes['total'] / 1e6:.1f} MB "
+                f"({per_machine_tiered / 1024:.1f} KiB/machine)",
+                f"reduction: {reduction:.1f}x (floor {min_reduction}x)",
+                f"verdicts tiered vs flat: "
+                f"{'EQUAL' if verdicts_equal else 'DIVERGED'} "
+                f"({len(tiered_verdicts)} verdict machine(s))",
+                f"root sketch aggregates: "
+                f"{root_agg_bytes_per_machine:.1f} B/machine "
+                f"(budget {MAX_ROOT_AGG_BYTES_PER_MACHINE}); bin1 "
+                f"round-trip {'byte-identical' if wire_identical else 'DRIFTED'}",
+            ]
+        ),
+        data={
+            "config": {
+                "machines": MACHINES,
+                "history_s": HISTORY_S,
+                "zones": N_ZONES,
+                "fine_slots": TIER_CONFIG.fine_slots,
+                "fanout": TIER_CONFIG.fanout,
+                "coarse_slots": TIER_CONFIG.coarse_slots,
+                "coarse_tiers": TIER_CONFIG.coarse_tiers,
+            },
+            "flat_bytes": flat_bytes,
+            "tiered_bytes": tiered_bytes,
+            "flat_bytes_per_machine": per_machine_flat,
+            "tiered_bytes_per_machine": per_machine_tiered,
+            "reduction_x": reduction,
+            "min_reduction_x": min_reduction,
+            "verdicts_equal_flat": verdicts_equal,
+            "verdict_machines": len(tiered_verdicts),
+            "root_aggregate_bytes_per_machine": root_agg_bytes_per_machine,
+            "sketch_wire_roundtrip_identical": wire_identical,
+        },
+    )

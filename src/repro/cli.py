@@ -1170,6 +1170,7 @@ def _run_watch_scenario(
     detected_round = None
     resolved_round = None
     wire_reports = {"accepted": 0}
+    last_store_bytes = {}
 
     with FleetServer(fleet) as server:
         host, port = server.address
@@ -1227,7 +1228,12 @@ def _run_watch_scenario(
                     "deferred": list(res.deferred),
                     "zone_states": dict(res.zone_states),
                     "monitor_ms": round(res.monitor_s * 1e3, 3),
+                    "history_kib": round(
+                        res.store_bytes.get("total", 0) / 1024.0, 1
+                    ),
                 }
+                if res.store_bytes:
+                    last_store_bytes = dict(res.store_bytes)
                 round_log.append(entry)
                 if on_round is not None:
                     on_round(entry)
@@ -1266,6 +1272,7 @@ def _run_watch_scenario(
         "monitor_cost_per_round_ms": (
             monitor_cost_s / daemon_rounds * 1e3 if daemon_rounds else 0.0
         ),
+        "history_bytes": last_store_bytes,
         "incidents": [i.to_dict() for i in incidents],
         "rounds": round_log,
     }
@@ -1297,6 +1304,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
         print(
             f"  round {entry['round']:3d}  loss[{lossy}]  "
             f"monitor {entry['monitor_ms']:.2f}ms  "
+            f"hist {entry['history_kib']:.1f}KiB  "
             + ("  ".join(flags) if flags else "steady")
         )
 
@@ -1325,6 +1333,16 @@ def cmd_watch(args: argparse.Namespace) -> int:
         f"accepted; monitor cost "
         f"{result['monitor_cost_per_round_ms']:.3f} ms/round"
     )
+    hist = result["history_bytes"]
+    if hist:
+        tiers = "  ".join(
+            f"{tier}={n / 1024.0:.1f}KiB"
+            for tier, n in sorted(hist.items()) if tier != "total"
+        )
+        print(
+            f"  controller history: {hist.get('total', 0) / 1024.0:.1f}KiB "
+            f"({tiers})"
+        )
     if not result["detected"]:
         print("\n== !! injected fault was never detected")
         return 1

@@ -95,6 +95,7 @@ from repro.core.net.protocol import ProtocolError
 from repro.core.records import StatRecord
 from repro.core.sharding import DEFAULT_REPLICAS, HashRing, moved_keys
 from repro.core.store import SeriesBlock, StoreError, TimeSeriesStore
+from repro.core.tiers import TieredWindowStore
 
 #: Failures of the collection path itself — swallowed into health
 #: tracking.  Anything else (an agent *refusing* an op, a programming
@@ -112,6 +113,7 @@ FAILOVERS_METRIC = "perfsight_fleet_failovers_total"
 REHOMED_METRIC = "perfsight_fleet_rehomed_machines_total"
 ZONE_AGE_METRIC = "perfsight_fleet_zone_report_age_seconds"
 ZONE_ACTIVE_METRIC = "perfsight_fleet_zone_active"
+STORE_BYTES_METRIC = "perfsight_store_bytes"
 
 T = TypeVar("T")
 
@@ -145,10 +147,14 @@ class AgentMirror:
         machine: str,
         handle: AgentHandle,
         health_policy: Optional[HealthPolicy] = None,
+        store: Optional[TimeSeriesStore] = None,
     ) -> None:
         self.machine = machine
         self.handle = handle
-        self.store = TimeSeriesStore()
+        # Tiered by default: the fine ring is byte-identical to a flat
+        # store's (so every verdict path is unchanged) while evicted
+        # history coarsens into bounded tiers instead of vanishing.
+        self.store = store if store is not None else TieredWindowStore()
         self.acked: Dict[str, int] = {}
         self.syncs = 0
         self.failed_syncs = 0
@@ -322,11 +328,16 @@ class ZoneController:
         self,
         name: str = "perfsight-zone",
         max_workers: int = DEFAULT_MAX_WORKERS,
+        store_factory: Optional[Callable[[], TimeSeriesStore]] = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1: {max_workers!r}")
         self.name = name
         self.max_workers = max_workers
+        #: Mirror-store factory for newly registered machines; defaults
+        #: to the tiered store (benchmarks pass a flat-store factory to
+        #: build the unbounded baseline they compare against).
+        self.store_factory = store_factory
         self._agents: Dict[str, AgentHandle] = {}
         self._mirrors: Dict[str, AgentMirror] = {}
         self._tenants: Dict[str, Tenant] = {}
@@ -356,7 +367,13 @@ class ZoneController:
                 raise ValueError(f"machine {machine_name!r} already has an agent")
             self._agents[machine_name] = agent
             self._mirrors[machine_name] = AgentMirror(
-                machine_name, agent, health_policy
+                machine_name,
+                agent,
+                health_policy,
+                store=(
+                    self.store_factory() if self.store_factory is not None
+                    else None
+                ),
             )
 
     def register_local_agent(self, agent: Agent) -> None:
@@ -738,6 +755,8 @@ class ZoneController:
         """
         from repro.core.diagnosis.report import MachineSummary, ZoneReport
 
+        from repro.core.diagnosis.report import ZoneAggregates
+
         window = window_s if window_s is not None else diagnosis.window_s
         summaries: Dict[str, "MachineSummary"] = {}
         for machine, report in diagnosis.reports.items():
@@ -750,6 +769,7 @@ class ZoneController:
             seq=seq,
             window_s=window,
             machines=summaries,
+            aggregates=ZoneAggregates.from_summaries(summaries),
         )
 
     def resume_reporting_from(self, seq: int) -> None:
@@ -835,6 +855,7 @@ class ZoneController:
             CONFIDENCE_DEGRADED,
             CONFIDENCE_FULL,
             MachineSummary,
+            ZoneAggregates,
             ZoneReport,
         )
 
@@ -865,8 +886,35 @@ class ZoneController:
             self._report_seq += 1
             seq = self._report_seq
         return ZoneReport(
-            zone=self.name, seq=seq, window_s=window_s, machines=summaries
+            zone=self.name,
+            seq=seq,
+            window_s=window_s,
+            machines=summaries,
+            aggregates=ZoneAggregates.from_summaries(summaries),
         )
+
+    # -- memory accounting -----------------------------------------------------------
+
+    def store_nbytes(self, export: bool = False) -> Dict[str, int]:
+        """History buffer bytes across this shard's mirrors, by tier.
+
+        O(mirrors × elements) array-length sums — cheap enough for the
+        daemon's coarse cadence.  ``export`` publishes each tier as a
+        :data:`STORE_BYTES_METRIC` gauge (labels ``zone``/``tier`` are
+        both fleet-bounded).
+        """
+        with self._registry_lock:
+            mirrors = list(self._mirrors.values())
+        totals: Dict[str, int] = {}
+        for mirror in mirrors:
+            for tier, n in mirror.store.nbytes().items():
+                totals[tier] = totals.get(tier, 0) + n
+        if export:
+            for tier, n in sorted(totals.items()):
+                obs.gauge(
+                    STORE_BYTES_METRIC, float(n), zone=self.name, tier=tier
+                )
+        return totals
 
     # -- health and data quality ---------------------------------------------------------
 
@@ -1031,8 +1079,11 @@ class Controller(ZoneController):
         self,
         name: str = "perfsight-controller",
         max_workers: int = DEFAULT_MAX_WORKERS,
+        store_factory: Optional[Callable[[], TimeSeriesStore]] = None,
     ) -> None:
-        super().__init__(name=name, max_workers=max_workers)
+        super().__init__(
+            name=name, max_workers=max_workers, store_factory=store_factory
+        )
 
 
 @dataclass

@@ -37,6 +37,7 @@ normal Prometheus exposition.
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
@@ -54,6 +55,7 @@ FALSE_ALARMS_METRIC = "perfsight_daemon_false_alarms_total"
 INCIDENTS_CLOSED_METRIC = "perfsight_daemon_incidents_closed_total"
 ROUNDS_METRIC = "perfsight_daemon_rounds_total"
 MONITOR_SECONDS_METRIC = "perfsight_daemon_monitor_seconds"
+HISTORY_BYTES_METRIC = "perfsight_daemon_history_bytes"
 
 #: Detector trip reasons (the ``reason`` label on incident metrics).
 REASON_LOSS = "loss_rate"
@@ -267,6 +269,9 @@ class RoundResult:
     deferred: List[str] = field(default_factory=list)
     zone_states: Dict[str, str] = field(default_factory=dict)
     monitor_s: float = 0.0
+    #: Controller-side history footprint, per store tier (summed over
+    #: zones; filled on coarse-sweep rounds).
+    store_bytes: Dict[str, int] = field(default_factory=dict)
 
 
 class DiagnosisDaemon:
@@ -312,6 +317,44 @@ class DiagnosisDaemon:
         self._active: Dict[str, Incident] = {}
         self._detectors: Dict[str, MachineDetector] = {}
         self._next_id = 1
+        self._validate_retention()
+
+    def _validate_retention(self) -> None:
+        """Fail fast when a mirror store cannot cover the detector window.
+
+        The detector reads a trailing ``window_s`` window off each
+        mirror's *fine* ring (and judges staleness against
+        ``staleness_rounds * window_s``).  While a machine is escalated
+        its agent pushes at ``escalated_poll_period_s``, so the ring
+        must hold ``span / cadence`` samples — with less, windows come
+        back silently short and verdicts quietly degrade.  Catch the
+        misconfiguration at construction instead.
+        """
+        cfg = self.config
+        cadence = cfg.escalated_poll_period_s or cfg.window_s
+        span_s = cfg.window_s
+        if cfg.detector.staleness_rounds is not None:
+            span_s = max(span_s, cfg.detector.staleness_rounds * cfg.window_s)
+        needed = math.ceil(span_s / cadence) + 1
+        for zname in sorted(self.zones):
+            zone = self.zones[zname]
+            machines = getattr(zone, "machines", None)
+            mirror_for = getattr(zone, "mirror_for", None)
+            if machines is None or mirror_for is None:
+                continue
+            for machine in machines():
+                store = getattr(mirror_for(machine), "store", None)
+                capacity = getattr(store, "capacity_per_element", None)
+                if capacity is not None and capacity < needed:
+                    raise ValueError(
+                        f"store for machine {machine!r} in zone {zname!r} "
+                        f"retains {capacity} fine slots but the detector "
+                        f"window needs {needed} "
+                        f"(window_s={cfg.window_s}, escalated cadence "
+                        f"{cadence}s, staleness span {span_s}s); raise "
+                        "PERFSIGHT_FINE_SLOTS / capacity_per_element or "
+                        "widen DaemonConfig.window_s"
+                    )
 
     # -- introspection ---------------------------------------------------------------
 
@@ -413,6 +456,17 @@ class DiagnosisDaemon:
                 report = zone.build_coarse_report(cfg.window_s, now=now)
                 signals.update(report.machines)
                 self._deliver(zname, report, now)
+                store_nbytes = getattr(zone, "store_nbytes", None)
+                if store_nbytes is not None:
+                    for tier, n in store_nbytes(export=True).items():
+                        result.store_bytes[tier] = (
+                            result.store_bytes.get(tier, 0) + n
+                        )
+            if result.store_bytes:
+                obs.gauge(
+                    HISTORY_BYTES_METRIC,
+                    float(result.store_bytes.get("total", 0)),
+                )
             monitor_s = time.perf_counter() - wall0
             self.monitor_cost_s += monitor_s
             result.monitor_s = monitor_s

@@ -23,6 +23,7 @@ from repro.core.health import (
     worst_state,
 )
 from repro.core.rulebook import Verdict
+from repro.core.sketches import QuantileSketch, SpaceSavingTopK
 
 #: Verdict confidence labels used across the diagnosis reports.
 CONFIDENCE_FULL = "full"
@@ -346,6 +347,68 @@ class MachineSummary:
         )
 
 
+#: Tracked heavy hitters per zone sketch.  The root's merged view can
+#: therefore answer "top droppers" for the whole fleet from O(zones × k)
+#: state instead of O(machines).
+DEFAULT_TOPK = 10
+
+
+@dataclass
+class ZoneAggregates:
+    """Sketch-backed shard aggregates riding a :class:`ZoneReport`.
+
+    Bounded-memory stand-ins for the per-machine scans the root used
+    to do: ``top_droppers`` space-saves machine loss totals over the
+    report window, ``loss_rate`` histograms the shard's per-machine
+    packet-loss-rate distribution.  Both merge across zones (exactly,
+    since shards are disjoint) and pack flat for the ``bin1`` wire.
+    """
+
+    top_droppers: SpaceSavingTopK = field(
+        default_factory=lambda: SpaceSavingTopK(DEFAULT_TOPK)
+    )
+    loss_rate: QuantileSketch = field(default_factory=QuantileSketch)
+
+    @classmethod
+    def from_summaries(
+        cls, summaries: Mapping[str, "MachineSummary"], k: int = DEFAULT_TOPK
+    ) -> "ZoneAggregates":
+        agg = cls(top_droppers=SpaceSavingTopK(k))
+        for machine in sorted(summaries):
+            summary = summaries[machine]
+            if summary.loss_pkts > 0:
+                agg.top_droppers.add(machine, summary.loss_pkts)
+            agg.loss_rate.add(max(0.0, summary.pkt_loss_rate))
+        return agg
+
+    def merge(self, other: "ZoneAggregates") -> "ZoneAggregates":
+        self.top_droppers.merge(other.top_droppers)
+        self.loss_rate.merge(other.loss_rate)
+        return self
+
+    def copy(self) -> "ZoneAggregates":
+        return ZoneAggregates(
+            top_droppers=self.top_droppers.copy(),
+            loss_rate=self.loss_rate.copy(),
+        )
+
+    def nbytes(self) -> int:
+        return self.top_droppers.nbytes() + self.loss_rate.nbytes()
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "topk": self.top_droppers.to_wire(),
+            "loss_rate": self.loss_rate.to_wire(),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "ZoneAggregates":
+        return cls(
+            top_droppers=SpaceSavingTopK.from_wire(payload["topk"]),
+            loss_rate=QuantileSketch.from_wire(payload["loss_rate"]),
+        )
+
+
 @dataclass
 class ZoneReport:
     """One zone's roll-up of its machine shard, pushed to the root.
@@ -360,6 +423,9 @@ class ZoneReport:
     window_s: float
     machines: Dict[str, MachineSummary] = field(default_factory=dict)
     generated_ts: float = 0.0
+    #: Sketch-backed shard aggregates; None for pre-sketch producers
+    #: (old peers stay readable — the wire defaults are additive).
+    aggregates: Optional[ZoneAggregates] = None
 
     # -- zone-level aggregates (what the root reads most) -----------------
 
@@ -413,7 +479,7 @@ class ZoneReport:
     # -- wire form ---------------------------------------------------------
 
     def to_wire(self) -> Dict[str, Any]:
-        return {
+        wire = {
             "zone": self.zone,
             "seq": self.seq,
             "window_s": self.window_s,
@@ -422,18 +488,25 @@ class ZoneReport:
                 self.machines[m].to_wire() for m in self.machine_names
             ],
         }
+        if self.aggregates is not None:
+            wire["aggregates"] = self.aggregates.to_wire()
+        return wire
 
     @classmethod
     def from_wire(cls, payload: Mapping[str, Any]) -> "ZoneReport":
         summaries = [
             MachineSummary.from_wire(row) for row in payload.get("machines", ())
         ]
+        raw_agg = payload.get("aggregates")
         return cls(
             zone=str(payload["zone"]),
             seq=int(payload["seq"]),
             window_s=float(payload.get("window_s", 0.0)),
             machines={s.machine: s for s in summaries},
             generated_ts=float(payload.get("generated_ts", 0.0)),
+            aggregates=(
+                ZoneAggregates.from_wire(raw_agg) if raw_agg else None
+            ),
         )
 
 
@@ -530,6 +603,36 @@ class FleetRollup:
             for zone in self.zones.values()
             for m in zone.machines
         }
+
+    @property
+    def aggregates(self) -> Optional[ZoneAggregates]:
+        """The zones' sketch aggregates merged fleet-wide.
+
+        O(zones × sketch size) — never touches per-machine summaries.
+        Exact under disjoint shards; None when no merged zone carried
+        aggregates (pre-sketch producers).
+        """
+        merged: Optional[ZoneAggregates] = None
+        for zone in self.zone_names:
+            agg = self.zones[zone].aggregates
+            if agg is None:
+                continue
+            merged = agg.copy() if merged is None else merged.merge(agg)
+        return merged
+
+    def top_droppers(self, n: int = 5) -> List[Tuple[str, float]]:
+        """Heaviest-loss machines fleet-wide, from the merged sketches."""
+        agg = self.aggregates
+        if agg is None:
+            return []
+        return [(m, cnt) for m, cnt, _err in agg.top_droppers.top(n)]
+
+    def loss_rate_quantile(self, q: float) -> Optional[float]:
+        """Fleet loss-rate quantile from the merged sketches (or None)."""
+        agg = self.aggregates
+        if agg is None:
+            return None
+        return agg.loss_rate.quantile(q)
 
     @property
     def worst_machine(self) -> Optional[str]:

@@ -44,6 +44,13 @@ framing and the 16 MiB cap live in :mod:`repro.core.net.protocol`)::
                  | row_count u32
                  | rows := (seq i64 | ts f64 | values f64[attr_count])*
 
+    zone report (kind 3, zone -> root): machine summaries + verdicts;
+      header flag bit 0 (``FLAG_ZONE_AGGREGATES``) appends a sketch
+      section after the summaries:
+        topk_k u16 | entry_count u16
+          | (machine_id u32 | count f64 | error f64)*
+        | lo f64 | hi f64 | cell_count u16 | cells f64[cell_count]
+
 Every row is a run of fixed-width (element-id, attr-id, value) triples
 with the ids hoisted to the block header: the element id and the attr
 id column vector apply to all rows of the block, so the per-row bytes
@@ -82,6 +89,12 @@ BIN_VERSION = 1
 KIND_BATCH_REQUEST = 1
 KIND_BATCH_RESPONSE = 2
 KIND_ZONE_REPORT = 3
+
+#: Header flag on KIND_ZONE_REPORT frames: a sketch-aggregates section
+#: (top-k droppers + loss-rate quantile histogram) follows the machine
+#: summaries.  Frames without the bit decode exactly as before, so
+#: pre-sketch peers interoperate both ways.
+FLAG_ZONE_AGGREGATES = 0x01
 
 #: Dictionary-entry namespaces.  ``SPACE_LABEL`` holds the hierarchy's
 #: enumerated strings — zone names, health states, confidence levels,
@@ -300,9 +313,15 @@ class _Reader:
             )
 
 
-def _check_header(r: _Reader, expected_kind: int) -> None:
+def _check_header(r: _Reader, expected_kind: int) -> int:
+    """Validate the frame header; returns its ``flags`` byte.
+
+    Flags are per-kind feature bits (``FLAG_ZONE_AGGREGATES`` on zone
+    reports); bits a decoder does not know are ignored, which is what
+    lets the format grow without a version bump.
+    """
     at = r.need(4, "frame header")
-    magic, version, kind, _flags = _HEADER.unpack_from(r.view, at)
+    magic, version, kind, flags = _HEADER.unpack_from(r.view, at)
     if magic != BIN_MAGIC:
         raise ProtocolError(
             f"bad binary magic 0x{magic:02x}", op=r.op, offset=at
@@ -317,6 +336,7 @@ def _check_header(r: _Reader, expected_kind: int) -> None:
             op=r.op,
             offset=at + 2,
         )
+    return flags
 
 
 def _put_text(buf: bytearray, text: str) -> None:
@@ -600,7 +620,45 @@ def encode_zone_report(
             for sig in signals:
                 body += _U32.pack(ident_for(SPACE_LABEL, labels, str(sig)))
 
-    buf = bytearray(_HEADER.pack(BIN_MAGIC, BIN_VERSION, KIND_ZONE_REPORT, 0))
+    # Sketch aggregates (flagged): top-k droppers as (machine id,
+    # count, error) rows, then the loss-rate quantile histogram.  The
+    # machine names were just written by the summaries loop, so the
+    # steady state adds no dictionary entries.
+    aggregates = report.get("aggregates")
+    flags = 0
+    if aggregates:
+        flags |= FLAG_ZONE_AGGREGATES
+        topk = aggregates["topk"]
+        entries = list(topk.get("entries", ()))
+        if len(entries) > 0xFFFF:
+            raise ProtocolError(
+                f"too many top-k entries for wire: {len(entries)}",
+                op=OP_ZONE_REPORT,
+            )
+        body += _U16.pack(int(topk["k"]))
+        body += _U16.pack(len(entries))
+        for key, count, err in entries:
+            body += _U32.pack(
+                ident_for(SPACE_MACHINE, schema.machines, str(key))
+            )
+            body += _F64.pack(float(count))
+            body += _F64.pack(float(err))
+        qsketch = aggregates["loss_rate"]
+        counts = list(qsketch.get("counts", ()))
+        if len(counts) > 0xFFFF:
+            raise ProtocolError(
+                f"too many quantile cells for wire: {len(counts)}",
+                op=OP_ZONE_REPORT,
+            )
+        body += _F64.pack(float(qsketch["lo"]))
+        body += _F64.pack(float(qsketch["hi"]))
+        body += _U16.pack(len(counts))
+        for cell in counts:
+            body += _F64.pack(float(cell))
+
+    buf = bytearray(
+        _HEADER.pack(BIN_MAGIC, BIN_VERSION, KIND_ZONE_REPORT, flags)
+    )
     if trace_wire:
         _put_text(buf, json.dumps(trace_wire, separators=(",", ":")))
     else:
@@ -623,7 +681,7 @@ def decode_zone_report(
 ) -> Tuple[Dict[str, Any], Optional[Mapping[str, Any]]]:
     """Unpack a ``bin1`` zone report into (wire dict, trace context)."""
     r = _Reader(raw, OP_ZONE_REPORT)
-    _check_header(r, KIND_ZONE_REPORT)
+    flags = _check_header(r, KIND_ZONE_REPORT)
     trace: Optional[Mapping[str, Any]] = None
     trace_text = r.text("trace context")
     if trace_text:
@@ -701,6 +759,26 @@ def decode_zone_report(
                 "verdicts": verdicts,
             }
         )
+    aggregates: Optional[Dict[str, Any]] = None
+    if flags & FLAG_ZONE_AGGREGATES:
+        k = r.u16("top-k k")
+        entries: List[List[Any]] = []
+        for _ in range(r.bound_count(r.u16("top-k entry count"), 20, "top-k entry")):
+            key = schema.machines.name_of(r.u32("top-k machine id"), r.op, r.pos - 4)
+            entries.append([key, r.f64("top-k count"), r.f64("top-k error")])
+        lo = r.f64("quantile lo")
+        hi = r.f64("quantile hi")
+        counts_len = r.bound_count(r.u16("quantile cell count"), 8, "quantile cell")
+        counts = [r.f64("quantile cell") for _ in range(counts_len)]
+        aggregates = {
+            "topk": {"k": k, "entries": entries},
+            "loss_rate": {
+                "lo": lo,
+                "hi": hi,
+                "buckets": counts_len - 2,
+                "counts": counts,
+            },
+        }
     r.done()
     report = {
         "zone": zone,
@@ -709,6 +787,8 @@ def decode_zone_report(
         "generated_ts": generated_ts,
         "machines": machines,
     }
+    if aggregates is not None:
+        report["aggregates"] = aggregates
     return report, trace
 
 

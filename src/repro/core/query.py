@@ -131,6 +131,62 @@ class QueryRunner:
         window = self.observe_window(tenant_id, element, interval_s)
         return window.avg_pkt_size(bytes_attr, pkts_attr)
 
+    # -- historical routines over the mirrored history ---------------------------
+
+    def window_between(
+        self, tenant_id: str, element: str, t0: float, t1: float
+    ) -> CounterWindow:
+        """The element's already-mirrored activity over ``[t0, t1]``.
+
+        Unlike :meth:`observe_window` this does not refresh or advance
+        time — it answers from history the mirror already holds.  On a
+        tiered store (:class:`~repro.core.tiers.TieredWindowStore`, the
+        default) the lookup transparently stitches the full-resolution
+        fine ring with the coarsened tiers, so "what was the throughput
+        an hour ago?" works long after the fine ring has recycled —
+        at the coarse tiers' reduced sample resolution.
+        """
+        return self.controller.window(tenant_id, element, t0, t1)
+
+    def get_throughput_between(
+        self,
+        tenant_id: str,
+        element: str,
+        t0: float,
+        t1: float,
+        attr: str = "rx_bytes",
+    ) -> float:
+        """Historical average throughput over ``[t0, t1]``, bytes/second."""
+        return self.window_between(tenant_id, element, t0, t1).rate(attr)
+
+    def get_pkt_loss_between(
+        self,
+        tenant_id: str,
+        element: str,
+        t0: float,
+        t1: float,
+        in_attr: str = "rx_pkts",
+        out_attr: str = "tx_pkts",
+    ) -> float:
+        """Historical packet loss within the element over ``[t0, t1]``."""
+        return self.window_between(tenant_id, element, t0, t1).pkt_loss(
+            in_attr, out_attr
+        )
+
+    def get_avg_pkt_size_between(
+        self,
+        tenant_id: str,
+        element: str,
+        t0: float,
+        t1: float,
+        bytes_attr: str = "rx_bytes",
+        pkts_attr: str = "rx_pkts",
+    ) -> float:
+        """Historical average packet size over ``[t0, t1]``, bytes."""
+        return self.window_between(tenant_id, element, t0, t1).avg_pkt_size(
+            bytes_attr, pkts_attr
+        )
+
     def get_drops(
         self,
         tenant_id: str,

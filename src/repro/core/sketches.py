@@ -1,0 +1,309 @@
+"""Mergeable bounded-memory sketches for fleet-wide aggregates.
+
+The root tier's favourite questions — "which machines drop the most?"
+and "what does the loss-rate distribution look like?" — do not need
+per-machine state at the root.  Two classic streaming summaries answer
+them in constant space per zone, merge across zones, and pack flat for
+the ``bin1`` wire:
+
+* :class:`SpaceSavingTopK` — the Metwally et al. space-saving
+  algorithm: at most ``k`` tracked keys, each carrying a count and an
+  overestimation bound (``error``).  A key's true total is within
+  ``[count - error, count]``.  In this deployment the merge across
+  zones is exact: every machine reports through exactly one zone, so
+  zone sketches carry disjoint key sets.
+
+* :class:`QuantileSketch` — a fixed-size log-bucketed histogram over
+  ``(lo, hi]`` with an underflow bucket (zeros and sub-``lo`` values)
+  and an overflow bucket.  Quantile answers carry a bounded *relative*
+  error of ``(hi/lo)**(1/buckets) - 1`` (the ratio between adjacent
+  bucket edges — ~15% for the default loss-rate shape), constant
+  memory, deterministic results, and an exact elementwise merge.
+
+Both sketches are deterministic — same inputs, same bytes — which is
+what lets the wire tests assert byte-identical ``bin1`` round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["SpaceSavingTopK", "QuantileSketch"]
+
+
+class SpaceSavingTopK:
+    """Space-saving heavy hitters: top-``k`` keys by summed weight."""
+
+    __slots__ = ("k", "_counts", "_errors")
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1: {k!r}")
+        self.k = k
+        self._counts: Dict[str, float] = {}
+        self._errors: Dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Count ``amount`` against ``key``, evicting the minimum if full.
+
+        The space-saving eviction: a new key replaces the currently
+        smallest one and inherits its count as the error bound — the
+        new key's true total can be anywhere in [amount, count].
+        """
+        if amount < 0:
+            raise ValueError(f"amount must be >= 0: {amount!r}")
+        counts = self._counts
+        if key in counts:
+            counts[key] += amount
+            return
+        if len(counts) < self.k:
+            counts[key] = amount
+            self._errors[key] = 0.0
+            return
+        victim = min(sorted(counts), key=lambda m: counts[m])
+        floor = counts.pop(victim)
+        self._errors.pop(victim)
+        counts[key] = floor + amount
+        self._errors[key] = floor
+
+    def count(self, key: str) -> float:
+        return self._counts.get(key, 0.0)
+
+    def error(self, key: str) -> float:
+        return self._errors.get(key, 0.0)
+
+    def top(self, n: Optional[int] = None) -> List[Tuple[str, float, float]]:
+        """``(key, count, error)`` rows, heaviest first (ties by key)."""
+        rows = sorted(
+            (
+                (key, self._counts[key], self._errors[key])
+                for key in self._counts
+            ),
+            key=lambda row: (-row[1], row[0]),
+        )
+        return rows if n is None else rows[:n]
+
+    def merge(self, other: "SpaceSavingTopK") -> "SpaceSavingTopK":
+        """Fold another sketch in (in place); returns self.
+
+        Union-sums counts and error bounds, then truncates back to
+        ``k`` keeping the heaviest; a truncated key's weight becomes
+        part of the survivors' slack.  With disjoint key sets (one
+        machine -> one zone) no truncation error is introduced beyond
+        the inputs' own bounds.
+        """
+        counts, errors = self._counts, self._errors
+        for key, cnt, err in other.top():
+            if key in counts:
+                counts[key] += cnt
+                errors[key] += err
+            else:
+                counts[key] = cnt
+                errors[key] = err
+        if len(counts) > self.k:
+            for key, _cnt, _err in self.top()[self.k:]:
+                del counts[key]
+                del errors[key]
+        return self
+
+    def copy(self) -> "SpaceSavingTopK":
+        dup = SpaceSavingTopK(self.k)
+        dup._counts = dict(self._counts)
+        dup._errors = dict(self._errors)
+        return dup
+
+    def nbytes(self) -> int:
+        """Rough payload footprint: keys + two floats per tracked key."""
+        return sum(len(key.encode("utf-8")) + 16 for key in self._counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpaceSavingTopK):
+            return NotImplemented
+        return (
+            self.k == other.k
+            and self._counts == other._counts
+            and self._errors == other._errors
+        )
+
+    def __repr__(self) -> str:
+        head = ", ".join(f"{k}={c:g}" for k, c, _ in self.top(3))
+        return f"SpaceSavingTopK(k={self.k}, [{head}])"
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "k": self.k,
+            "entries": [list(row) for row in self.top()],
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "SpaceSavingTopK":
+        sketch = cls(int(payload["k"]))
+        for row in payload.get("entries", ()):
+            key, cnt, err = row
+            sketch._counts[str(key)] = float(cnt)
+            sketch._errors[str(key)] = float(err)
+        if len(sketch._counts) > sketch.k:
+            raise ValueError(
+                f"top-k payload carries {len(sketch._counts)} entries "
+                f"for k={sketch.k}"
+            )
+        return sketch
+
+
+#: Default shape for loss-rate quantiles: rates live in [0, 1], rates
+#: below 0.01% are operationally "zero", and 64 log buckets bound the
+#: relative error at (1e4)**(1/64)-1 ~= 15%.
+DEFAULT_QUANTILE_LO = 1e-4
+DEFAULT_QUANTILE_HI = 1.0
+DEFAULT_QUANTILE_BUCKETS = 64
+
+
+class QuantileSketch:
+    """Fixed-size log-bucketed quantile histogram over ``(lo, hi]``.
+
+    ``counts`` has ``buckets + 2`` cells: cell 0 is the underflow
+    bucket (values <= ``lo``, including exact zeros), cells 1..buckets
+    are the geometric buckets, and the last cell is overflow
+    (values >= ``hi``).  Merging is an elementwise sum, so zone
+    sketches with identical shapes combine exactly.
+    """
+
+    __slots__ = ("lo", "hi", "buckets", "counts", "_scale")
+
+    def __init__(
+        self,
+        lo: float = DEFAULT_QUANTILE_LO,
+        hi: float = DEFAULT_QUANTILE_HI,
+        buckets: int = DEFAULT_QUANTILE_BUCKETS,
+    ) -> None:
+        if not (0 < lo < hi):
+            raise ValueError(f"need 0 < lo < hi, got lo={lo!r} hi={hi!r}")
+        if buckets < 1:
+            raise ValueError(f"buckets must be >= 1: {buckets!r}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.buckets = int(buckets)
+        self.counts = [0.0] * (self.buckets + 2)
+        self._scale = self.buckets / math.log(self.hi / self.lo)
+
+    @property
+    def total(self) -> float:
+        return sum(self.counts)
+
+    @property
+    def relative_error(self) -> float:
+        """Worst-case relative error of a quantile answer in (lo, hi)."""
+        return (self.hi / self.lo) ** (1.0 / self.buckets) - 1.0
+
+    def _bucket_of(self, value: float) -> int:
+        if value != value:  # NaN never lands anywhere useful
+            raise ValueError("cannot add NaN to a quantile sketch")
+        if value <= self.lo:
+            return 0
+        if value >= self.hi:
+            return self.buckets + 1
+        idx = int(math.log(value / self.lo) * self._scale) + 1
+        return min(idx, self.buckets)
+
+    def add(self, value: float, count: float = 1.0) -> None:
+        if count < 0:
+            raise ValueError(f"count must be >= 0: {count!r}")
+        self.counts[self._bucket_of(value)] += count
+
+    def _edge(self, bucket: int) -> float:
+        """Upper edge of a bucket — the quantile answer it stands for."""
+        if bucket <= 0:
+            return self.lo
+        if bucket > self.buckets:
+            return self.hi
+        return self.lo * (self.hi / self.lo) ** (bucket / self.buckets)
+
+    def quantile(self, q: float) -> Optional[float]:
+        """The value at quantile ``q`` in [0, 1]; None for an empty sketch.
+
+        Returns the upper edge of the bucket the quantile falls in —
+        an overestimate by at most :attr:`relative_error` (underflow
+        answers read as ``lo``, overflow as ``hi``).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q!r}")
+        total = self.total
+        if total <= 0:
+            return None
+        target = q * total
+        cum = 0.0
+        for bucket, count in enumerate(self.counts):
+            cum += count
+            if cum >= target and count > 0:
+                return self._edge(bucket)
+        return self.hi
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Elementwise merge (in place); shapes must match exactly."""
+        if (self.lo, self.hi, self.buckets) != (
+            other.lo,
+            other.hi,
+            other.buckets,
+        ):
+            raise ValueError(
+                "cannot merge quantile sketches of different shapes: "
+                f"({self.lo}, {self.hi}, {self.buckets}) vs "
+                f"({other.lo}, {other.hi}, {other.buckets})"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        return self
+
+    def copy(self) -> "QuantileSketch":
+        dup = QuantileSketch(self.lo, self.hi, self.buckets)
+        dup.counts = list(self.counts)
+        return dup
+
+    def nbytes(self) -> int:
+        return 8 * len(self.counts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (
+            (self.lo, self.hi, self.buckets) == (other.lo, other.hi, other.buckets)
+            and self.counts == other.counts
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(lo={self.lo:g}, hi={self.hi:g}, "
+            f"buckets={self.buckets}, total={self.total:g})"
+        )
+
+    # -- wire form ---------------------------------------------------------
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "buckets": self.buckets,
+            "counts": list(self.counts),
+        }
+
+    @classmethod
+    def from_wire(cls, payload: Mapping[str, Any]) -> "QuantileSketch":
+        sketch = cls(
+            float(payload["lo"]),
+            float(payload["hi"]),
+            int(payload["buckets"]),
+        )
+        counts = [float(c) for c in payload.get("counts", ())]
+        if len(counts) != len(sketch.counts):
+            raise ValueError(
+                f"quantile payload carries {len(counts)} cells for "
+                f"{sketch.buckets} buckets"
+            )
+        sketch.counts = counts
+        return sketch

@@ -114,6 +114,8 @@ class _ElementSeries:
         "_snap_cache",
         "version",
         "_win_memo",
+        "on_evict",
+        "on_clear",
     )
 
     def __init__(self, element_id: str, machine: str, capacity: int) -> None:
@@ -141,6 +143,12 @@ class _ElementSeries:
         # windows) validate in O(1) instead of re-deriving per query.
         self.version = 0
         self._win_memo: Dict[float, Tuple[int, "CounterWindow"]] = {}
+        # Tiering hooks (see repro.core.tiers): ``on_evict(series,
+        # slot)`` fires while a recycled slot still holds its dying
+        # row; ``on_clear(series)`` fires on a re-baseline.  Both run
+        # under the owning store's lock.  None for a flat store.
+        self.on_evict = None
+        self.on_clear = None
 
     # -- geometry ---------------------------------------------------------------
 
@@ -211,6 +219,8 @@ class _ElementSeries:
         stride = len(self.attr_names)
         if self.count == self.capacity:
             slot = self.start
+            if self.on_evict is not None:
+                self.on_evict(self, slot)
             self.start = (self.start + 1) % self.capacity
         else:
             slot = self._slot(self.count)
@@ -231,6 +241,16 @@ class _ElementSeries:
         self.count = 0
         self._snap_cache = [None] * self.capacity
         self.version += 1
+        if self.on_clear is not None:
+            self.on_clear(self)
+
+    def nbytes(self) -> int:
+        """History buffer bytes held (ring arrays; caches excluded)."""
+        return (
+            len(self.seqs) * self.seqs.itemsize
+            + len(self.stamps) * self.stamps.itemsize
+            + len(self.values) * self.values.itemsize
+        )
 
     # -- reads ------------------------------------------------------------------
 
@@ -329,6 +349,10 @@ class TimeSeriesStore:
         self.resets: Dict[str, int] = {}
         self.total_resets = 0
 
+    def _make_series(self, element_id: str, machine: str) -> _ElementSeries:
+        """Series factory — the hook subclasses (tiered stores) override."""
+        return _ElementSeries(element_id, machine, self.capacity_per_element)
+
     # -- ingest -----------------------------------------------------------------
 
     def append_row(
@@ -358,8 +382,8 @@ class TimeSeriesStore:
         with self._lock:
             series = self._series.get(element_id)
             if series is None:
-                series = self._series[element_id] = _ElementSeries(
-                    element_id, machine, self.capacity_per_element
+                series = self._series[element_id] = self._make_series(
+                    element_id, machine
                 )
             if series.count:
                 if seq == series.seq_at(series.count - 1):
@@ -409,8 +433,8 @@ class TimeSeriesStore:
                 shipped += len(rows)
                 series = self._series.get(element_id)
                 if series is None:
-                    series = self._series[element_id] = _ElementSeries(
-                        element_id, machine, self.capacity_per_element
+                    series = self._series[element_id] = self._make_series(
+                        element_id, machine
                     )
                 for seq, timestamp, values in rows:
                     if series.count:
@@ -438,6 +462,20 @@ class TimeSeriesStore:
     def clear(self) -> None:
         with self._lock:
             self._series.clear()
+
+    # -- accounting --------------------------------------------------------------
+
+    def nbytes(self) -> Dict[str, int]:
+        """History buffer bytes by tier; a flat store is all ``fine``.
+
+        Counts the ring arrays only (snapshot/window caches are
+        derived views).  Tiered subclasses add per-coarse-tier keys;
+        every shape carries ``fine`` and ``total`` so accounting
+        consumers (gauges, benchmarks) read one schema.
+        """
+        with self._lock:
+            fine = sum(s.nbytes() for s in self._series.values())
+            return {"fine": fine, "total": fine}
 
     # -- lookups ----------------------------------------------------------------
 

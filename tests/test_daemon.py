@@ -432,3 +432,85 @@ class TestFleetArc:
                 assert opened.zone != victim_zone
         finally:
             stop_agents(h)
+
+
+class _StubMirror:
+    def __init__(self, capacity):
+        from repro.core.store import TimeSeriesStore
+
+        self.store = TimeSeriesStore(capacity_per_element=capacity)
+
+
+class _StubZone:
+    def __init__(self, capacity):
+        self._mirrors = {"mX": _StubMirror(capacity)}
+
+    def machines(self):
+        return sorted(self._mirrors)
+
+    def mirror_for(self, machine):
+        return self._mirrors[machine]
+
+
+class TestRetentionValidation:
+    """Daemon construction fails fast on under-provisioned mirrors."""
+
+    def test_short_fine_ring_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="PERFSIGHT_FINE_SLOTS"):
+            DiagnosisDaemon(
+                {"z": _StubZone(capacity=4)},
+                advance=lambda t: None,
+                config=DaemonConfig(window_s=WINDOW_S),
+            )
+
+    def test_sufficient_ring_accepted(self):
+        # window 0.25s at the 0.02s escalated cadence, staleness horizon
+        # 1.5 windows -> ceil(0.375/0.02)+1 = 20 slots needed.
+        DiagnosisDaemon(
+            {"z": _StubZone(capacity=20)},
+            advance=lambda t: None,
+            config=DaemonConfig(window_s=WINDOW_S),
+        )
+        with pytest.raises(ValueError):
+            DiagnosisDaemon(
+                {"z": _StubZone(capacity=19)},
+                advance=lambda t: None,
+                config=DaemonConfig(window_s=WINDOW_S),
+            )
+
+    def test_unescalated_cadence_used_when_poll_tightening_off(self):
+        # Without escalated polling the detector only ever sees samples
+        # at the window cadence: 1.5 windows / window + 1 = 3 slots.
+        DiagnosisDaemon(
+            {"z": _StubZone(capacity=3)},
+            advance=lambda t: None,
+            config=DaemonConfig(
+                window_s=WINDOW_S, escalated_poll_period_s=None
+            ),
+        )
+
+    def test_duck_typed_zones_skip_validation(self):
+        # Zones without a mirror surface (remote shards) cannot be
+        # inspected; construction must not crash on them.
+        DiagnosisDaemon(
+            {"z": object()},
+            advance=lambda t: None,
+            config=DaemonConfig(window_s=WINDOW_S),
+        )
+
+
+class TestStoreBytesSurface:
+    def test_round_result_carries_history_bytes(self):
+        h, sources, zones, fleet = build_world(n_machines=2)
+        daemon = make_daemon(h, zones, fleet)
+        try:
+            with obs.installed() as hub:
+                res = daemon.tick()
+        finally:
+            stop_agents(h)
+        assert res.store_bytes["total"] > 0
+        assert res.store_bytes["fine"] > 0
+        assert "coarse" in res.store_bytes
+        rendered = hub.metrics.render_prometheus()
+        assert "perfsight_store_bytes" in rendered
+        assert "perfsight_daemon_history_bytes" in rendered

@@ -501,3 +501,70 @@ class TestRestartRenegotiation:
         finally:
             handle.close()
             server.shutdown()
+
+
+class TestZoneReportAggregates:
+    """The flagged sketch-aggregates section of bin1 zone reports."""
+
+    @staticmethod
+    def sample_report(with_aggregates=True):
+        from repro.core.diagnosis.report import (
+            MachineSummary,
+            ZoneAggregates,
+            ZoneReport,
+        )
+
+        summaries = {
+            "m1": MachineSummary(
+                machine="m1", health="healthy",
+                loss_pkts=120.0, pkt_loss_rate=0.012,
+            ),
+            "m2": MachineSummary(
+                machine="m2", health="healthy",
+                loss_pkts=0.0, pkt_loss_rate=0.0,
+            ),
+        }
+        return ZoneReport(
+            zone="z0", seq=5, window_s=0.5, machines=summaries,
+            aggregates=(
+                ZoneAggregates.from_summaries(summaries)
+                if with_aggregates else None
+            ),
+        ).to_wire()
+
+    def test_roundtrip_preserves_sketches(self):
+        from repro.core.diagnosis.report import ZoneReport
+
+        wire = self.sample_report()
+        schema_tx, schema_rx = WireSchema(), WireSchema()
+        raw = wire_codec.encode_zone_report(schema_tx, wire)
+        decoded, trace = wire_codec.decode_zone_report(schema_rx, raw)
+        assert trace is None
+        back = ZoneReport.from_wire(decoded)
+        orig = ZoneReport.from_wire(wire)
+        assert back.aggregates is not None
+        assert back.aggregates.top_droppers == orig.aggregates.top_droppers
+        assert back.aggregates.loss_rate == orig.aggregates.loss_rate
+
+    def test_reencode_is_byte_identical(self):
+        wire = self.sample_report()
+        raw = wire_codec.encode_zone_report(WireSchema(), wire)
+        decoded, _ = wire_codec.decode_zone_report(WireSchema(), raw)
+        again = wire_codec.encode_zone_report(WireSchema(), decoded)
+        assert again == raw
+
+    def test_aggregate_less_frame_has_no_flag(self):
+        wire = self.sample_report(with_aggregates=False)
+        raw = wire_codec.encode_zone_report(WireSchema(), wire)
+        assert raw[3] == 0  # flags byte
+        decoded, _ = wire_codec.decode_zone_report(WireSchema(), raw)
+        assert "aggregates" not in decoded
+
+    def test_aggregates_frame_truncations_rejected(self):
+        raw = wire_codec.encode_zone_report(WireSchema(), self.sample_report())
+        plain = wire_codec.encode_zone_report(
+            WireSchema(), self.sample_report(with_aggregates=False)
+        )
+        for cut in range(len(plain), len(raw)):
+            with pytest.raises(ProtocolError):
+                wire_codec.decode_zone_report(WireSchema(), raw[:cut])
